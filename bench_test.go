@@ -1,0 +1,234 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each BenchmarkTableN drives the same computation as
+// cmd/paperbench -table N and reports the headline quantities via
+// b.ReportMetric, so `go test -bench=. -benchmem` both times the pipeline
+// and re-derives the paper's numbers. The Figure benchmarks exercise the
+// artifacts behind the paper's figures (the Figure 2 example matrix, the
+// Figure 3 partitioning, the Figure 4 dependency engine).
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/tables"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     []*tables.Problem
+	suiteErr  error
+)
+
+func problems(b *testing.B) []*tables.Problem {
+	b.Helper()
+	suiteOnce.Do(func() { suite, suiteErr = tables.LoadSuite() })
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func lap30(b *testing.B) *tables.Problem {
+	for _, p := range problems(b) {
+		if p.Meta.Name == "LAP30" {
+			return p
+		}
+	}
+	b.Fatal("LAP30 missing")
+	return nil
+}
+
+// BenchmarkTable1 regenerates the test-matrix statistics (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	ps := problems(b)
+	var rows []tables.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = tables.Table1(ps)
+	}
+	for _, r := range rows {
+		if r.Name == "LAP30" {
+			b.ReportMetric(float64(r.FactorNNZ), "LAP30-nnzL")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates block-mapping communication (Table 2).
+func BenchmarkTable2(b *testing.B) {
+	ps := problems(b)
+	var rows []tables.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = tables.Table2(ps)
+	}
+	for _, r := range rows {
+		if r.Name == "LAP30" && r.P == 16 {
+			b.ReportMetric(float64(r.TotalG4), "LAP30-P16-g4")
+			b.ReportMetric(float64(r.TotalG25), "LAP30-P16-g25")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates block-mapping work distribution (Table 3).
+func BenchmarkTable3(b *testing.B) {
+	ps := problems(b)
+	var rows []tables.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = tables.Table3(ps)
+	}
+	for _, r := range rows {
+		if r.Name == "LAP30" && r.P == 16 {
+			b.ReportMetric(r.AG25, "LAP30-P16-A-g25")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the cluster-width sweep (Table 4).
+func BenchmarkTable4(b *testing.B) {
+	lap := lap30(b)
+	var rows []tables.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = tables.Table4(lap)
+	}
+	for _, r := range rows {
+		if r.Width == 8 && r.P == 16 {
+			b.ReportMetric(float64(r.Total), "LAP30-w8-P16-traffic")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the wrap-mapping table (Table 5).
+func BenchmarkTable5(b *testing.B) {
+	ps := problems(b)
+	var rows []tables.Table5Row
+	for i := 0; i < b.N; i++ {
+		rows = tables.Table5(ps)
+	}
+	for _, r := range rows {
+		if r.Name == "LAP30" && r.P == 16 {
+			b.ReportMetric(float64(r.Total), "LAP30-P16-traffic")
+		}
+	}
+}
+
+// BenchmarkFigure2 builds and partitions the 41x41 5-point FE grid matrix
+// of Figure 2 (cluster identification on the worked example).
+func BenchmarkFigure2(b *testing.B) {
+	var nClusters int
+	for i := 0; i < b.N; i++ {
+		sys, err := repro.Analyze(repro.FEGrid5(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		part := sys.Partition(repro.PartitionOptions{Grain: 4, MinClusterWidth: 2})
+		nClusters = len(part.Clusters)
+	}
+	b.ReportMetric(float64(nClusters), "clusters")
+}
+
+// BenchmarkFigure3 times the unit-block partitioning step alone (the
+// triangle band split and rectangle grids of Figure 3) on LAP30.
+func BenchmarkFigure3(b *testing.B) {
+	lap := lap30(b)
+	var units int
+	for i := 0; i < b.N; i++ {
+		part := core.NewPartition(lap.F, core.Options{Grain: 4, MinClusterWidth: 4})
+		units = len(part.Units)
+	}
+	b.ReportMetric(float64(units), "units")
+}
+
+// BenchmarkFigure4 times the ten-category dependency engine (Figure 4)
+// against the element-level oracle on LAP30.
+func BenchmarkFigure4(b *testing.B) {
+	lap := lap30(b)
+	part := lap.Part(4, 4)
+	ops := model.NewOps(lap.F)
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.NewPartition(lap.F, core.Options{Grain: 4, MinClusterWidth: 4})
+		}
+	})
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			part.DepsOracle(ops)
+		}
+	})
+}
+
+// BenchmarkExtMakespan regenerates the dependency-delay study (Ext-A).
+func BenchmarkExtMakespan(b *testing.B) {
+	ps := problems(b)
+	var rows []tables.MakespanRow
+	for i := 0; i < b.N; i++ {
+		rows = tables.Makespan(ps)
+	}
+	for _, r := range rows {
+		if r.Name == "LAP30" && r.P == 16 && r.Scheme == "block g=25" {
+			b.ReportMetric(r.Efficiency, "LAP30-P16-eff")
+		}
+	}
+}
+
+// BenchmarkExtPartners regenerates the communication-partner study (Ext-B).
+func BenchmarkExtPartners(b *testing.B) {
+	ps := problems(b)
+	var rows []tables.PartnersRow
+	for i := 0; i < b.N; i++ {
+		rows = tables.Partners(ps)
+	}
+	for _, r := range rows {
+		if r.Name == "LAP30" && r.P == 32 {
+			b.ReportMetric(r.WrapPartners, "LAP30-P32-wrap")
+			b.ReportMetric(r.BlockPartners, "LAP30-P32-block")
+		}
+	}
+}
+
+// BenchmarkExtGrainSweep regenerates the grain ablation (Ext-C).
+func BenchmarkExtGrainSweep(b *testing.B) {
+	lap := lap30(b)
+	grains := []int{2, 4, 8, 16, 25, 50, 100}
+	var rows []tables.GrainRow
+	for i := 0; i < b.N; i++ {
+		rows = tables.GrainSweep(lap, 16, grains)
+	}
+	b.ReportMetric(float64(rows[len(rows)-1].Total), "g100-traffic")
+}
+
+// BenchmarkFullPipeline times the whole paper pipeline on LAP30:
+// generate, order, analyze, partition, schedule, simulate.
+func BenchmarkFullPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := repro.Analyze(repro.LAP30())
+		if err != nil {
+			b.Fatal(err)
+		}
+		part := sys.Partition(repro.PartitionOptions{Grain: 25, MinClusterWidth: 4})
+		sc := sys.BlockSchedule(part, 16)
+		sys.Traffic(sc)
+	}
+}
+
+// BenchmarkScaling runs the full pipeline across growing 9-point grids,
+// showing how partitioning cost scales with problem size.
+func BenchmarkScaling(b *testing.B) {
+	for _, side := range []int{15, 30, 60} {
+		b.Run(fmt.Sprintf("grid%dx%d", side, side), func(b *testing.B) {
+			m := repro.Grid9(side, side)
+			for i := 0; i < b.N; i++ {
+				sys, err := repro.Analyze(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				part := sys.Partition(repro.PartitionOptions{Grain: 25, MinClusterWidth: 4})
+				sc := sys.BlockSchedule(part, 16)
+				sys.Traffic(sc)
+			}
+			b.ReportMetric(float64(m.N), "n")
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// Command paperbench regenerates every table of Venugopal & Naik (SC'91)
+// from the reproduction pipeline and prints measured values next to the
+// published ones.
+//
+// Usage:
+//
+//	paperbench [-table 1|2|3|4|5|makespan|partners|grain|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/tables"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+	table := flag.String("table", "all",
+		"which table to regenerate: 1..5, makespan, partners, grain, relax, alloc, order, solve, dynamic, crossover, messages, commspan, or all")
+	flag.Parse()
+
+	ps, err := tables.LoadSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lap *tables.Problem
+	for _, p := range ps {
+		if p.Meta.Name == "LAP30" {
+			lap = p
+		}
+	}
+
+	show := func(name string) bool { return *table == "all" || *table == name }
+	printed := false
+	if show("1") {
+		fmt.Println(tables.FormatTable1(tables.Table1(ps)))
+		printed = true
+	}
+	if show("2") {
+		fmt.Println(tables.FormatTable2(tables.Table2(ps)))
+		printed = true
+	}
+	if show("3") {
+		fmt.Println(tables.FormatTable3(tables.Table3(ps)))
+		printed = true
+	}
+	if show("4") {
+		fmt.Println(tables.FormatTable4(tables.Table4(lap)))
+		printed = true
+	}
+	if show("5") {
+		fmt.Println(tables.FormatTable5(tables.Table5(ps)))
+		printed = true
+	}
+	if show("makespan") {
+		fmt.Println(tables.FormatMakespan(tables.Makespan(ps)))
+		printed = true
+	}
+	if show("partners") {
+		fmt.Println(tables.FormatPartners(tables.Partners(ps)))
+		printed = true
+	}
+	if show("grain") {
+		rows := tables.GrainSweep(lap, 16, []int{2, 4, 8, 16, 25, 50, 100, 200})
+		fmt.Println(tables.FormatGrainSweep("LAP30", 16, rows))
+		printed = true
+	}
+	if show("relax") {
+		rows, err := tables.RelaxSweep(lap.Meta, 16, 25, []float64{0, 0.05, 0.1, 0.25, 0.5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatRelaxSweep("LAP30", 16, 25, rows))
+		printed = true
+	}
+	if show("alloc") {
+		fmt.Println(tables.FormatAllocCompare(tables.AllocCompare(ps)))
+		printed = true
+	}
+	if show("order") {
+		rows, err := tables.OrderCompare(lap.Meta, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatOrderCompare("LAP30", 16, rows))
+		printed = true
+	}
+	if show("solve") {
+		fmt.Println(tables.FormatSolveBalance(tables.SolveBalance(ps)))
+		printed = true
+	}
+	if show("dynamic") {
+		fmt.Println(tables.FormatDynamicCompare(tables.DynamicCompare(ps)))
+		printed = true
+	}
+	if show("messages") {
+		fmt.Println(tables.FormatMessages(tables.Messages(ps)))
+		printed = true
+	}
+	if show("commspan") {
+		rows := tables.CommMakespan(lap, 16, []float64{0, 1, 2, 5, 10, 20})
+		fmt.Println(tables.FormatCommMakespan("LAP30", 16, rows))
+		printed = true
+	}
+	if show("crossover") {
+		costs := []float64{0, 0.5, 1, 2, 5, 10, 20, 50}
+		rows := tables.Crossover(lap, 16, costs)
+		fmt.Println(tables.FormatCrossover("LAP30", 16, rows, tables.CrossoverPoint(lap, 16)))
+		for _, p := range ps {
+			fmt.Printf("%-10s P=16 crossover c = %.2f\n", p.Meta.Name, tables.CrossoverPoint(p, 16))
+		}
+		fmt.Println()
+		printed = true
+	}
+	if !printed {
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

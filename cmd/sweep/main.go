@@ -1,0 +1,147 @@
+// Command sweep emits CSV data series for plotting: processor sweeps,
+// grain sweeps and width sweeps over any of the test matrices, with one
+// row per configuration. It is the data generator behind the trade-off
+// curves discussed in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sweep -kind procs  -matrix LAP30 > procs.csv
+//	sweep -kind grain  -matrix LAP30 -procs 16 > grain.csv
+//	sweep -kind width  -matrix LAP30 -procs 16 > width.csv
+//	sweep -kind all    -out data/           # every series for every matrix
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+var (
+	procsSweep = []int{1, 2, 4, 8, 16, 32, 64}
+	grainSweep = []int{2, 4, 8, 16, 25, 50, 100, 200}
+	widthSweep = []int{2, 3, 4, 6, 8, 12, 16}
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		kind   = flag.String("kind", "procs", "series: procs, grain, width, or all")
+		matrix = flag.String("matrix", "LAP30", "test matrix name")
+		procs  = flag.Int("procs", 16, "processors (grain and width sweeps)")
+		grain  = flag.Int("grain", 25, "grain size (procs and width sweeps)")
+		out    = flag.String("out", "", "output directory for -kind all (default stdout for single series)")
+	)
+	flag.Parse()
+
+	if *kind == "all" {
+		if *out == "" {
+			log.Fatal("-kind all requires -out")
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, tm := range repro.TestMatrices() {
+			for _, k := range []string{"procs", "grain", "width"} {
+				path := filepath.Join(*out, strings.ToLower(tm.Name)+"_"+k+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := writeSeries(f, k, tm.Name, *procs, *grain); err != nil {
+					log.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+		return
+	}
+	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeSeries(out io.Writer, kind, matrix string, procs, grain int) error {
+	m, _, err := repro.BuildMatrix(matrix)
+	if err != nil {
+		return err
+	}
+	sys, err := repro.Analyze(m)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(out)
+	defer w.Flush()
+	row := func(fields ...string) error { return w.Write(fields) }
+
+	switch kind {
+	case "procs":
+		if err := row("procs", "scheme", "traffic", "mean_traffic", "imbalance",
+			"efficiency_bound", "makespan_eff_static"); err != nil {
+			return err
+		}
+		part := sys.Partition(repro.PartitionOptions{Grain: grain, MinClusterWidth: 4})
+		for _, p := range procsSweep {
+			bs := sys.BlockSchedule(part, p)
+			bt := sys.Traffic(bs)
+			bm := sys.BlockMakespan(part, bs)
+			if err := row(strconv.Itoa(p), "block",
+				fmt.Sprint(bt.Total), fmt.Sprintf("%.1f", bt.Mean()),
+				fmt.Sprintf("%.4f", bs.Imbalance()), fmt.Sprintf("%.4f", bs.Efficiency()),
+				fmt.Sprintf("%.4f", bm.Efficiency)); err != nil {
+				return err
+			}
+			ws := sys.WrapSchedule(p)
+			wt := sys.Traffic(ws)
+			wm := sys.WrapMakespan(p)
+			if err := row(strconv.Itoa(p), "wrap",
+				fmt.Sprint(wt.Total), fmt.Sprintf("%.1f", wt.Mean()),
+				fmt.Sprintf("%.4f", ws.Imbalance()), fmt.Sprintf("%.4f", ws.Efficiency()),
+				fmt.Sprintf("%.4f", wm.Efficiency)); err != nil {
+				return err
+			}
+		}
+	case "grain":
+		if err := row("grain", "units", "traffic", "imbalance"); err != nil {
+			return err
+		}
+		for _, g := range grainSweep {
+			part := sys.Partition(repro.PartitionOptions{Grain: g, MinClusterWidth: 4})
+			sc := sys.BlockSchedule(part, procs)
+			tr := sys.Traffic(sc)
+			if err := row(strconv.Itoa(g), strconv.Itoa(len(part.Units)),
+				fmt.Sprint(tr.Total), fmt.Sprintf("%.4f", sc.Imbalance())); err != nil {
+				return err
+			}
+		}
+	case "width":
+		if err := row("width", "units", "clusters", "traffic", "imbalance"); err != nil {
+			return err
+		}
+		for _, wd := range widthSweep {
+			part := sys.Partition(repro.PartitionOptions{Grain: grain, MinClusterWidth: wd})
+			sc := sys.BlockSchedule(part, procs)
+			tr := sys.Traffic(sc)
+			if err := row(strconv.Itoa(wd), strconv.Itoa(len(part.Units)),
+				strconv.Itoa(len(part.Clusters)),
+				fmt.Sprint(tr.Total), fmt.Sprintf("%.4f", sc.Imbalance())); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown series kind %q", kind)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Solver: the complete direct method of the paper's Section 2 — ordering,
+// symbolic factorization, numeric factorization and triangular solves —
+// including the block-parallel numeric factorization executed by worker
+// goroutines over the partitioner's dependency graph.
+//
+// The program solves a Poisson-like system on a 9-point grid, checks the
+// residual, and cross-validates the parallel factorization against the
+// sequential one, demonstrating that the block dependency graph of
+// Section 3.3 is sufficient for correct parallel execution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	// A 24x24 9-point grid: 576 unknowns.
+	a := repro.Grid9(24, 24)
+	sys, err := repro.Analyze(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system: n=%d, nnz(A)=%d, nnz(L)=%d, fill-in=%d\n",
+		a.N, a.NNZ(), sys.F.NNZ(), sys.F.NNZ()-a.NNZ())
+
+	// Manufactured solution: x*_i = sin(i/10), b = A x*.
+	xStar := make([]float64, a.N)
+	for i := range xStar {
+		xStar[i] = math.Sin(float64(i) / 10)
+	}
+	b := matVec(a, xStar)
+
+	// 1. Sequential direct solve on the original system.
+	x, err := sys.Solve(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst float64
+	for i := range x {
+		if d := math.Abs(x[i] - xStar[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("sequential solve: residual=%.2e, max error vs manufactured x*=%.2e\n",
+		sys.ResidualNorm(x, b), worst)
+
+	// 2. Block-parallel factorization on 8 simulated processors.
+	part := sys.Partition(repro.PartitionOptions{Grain: 16, MinClusterWidth: 4})
+	sc := sys.BlockSchedule(part, 8)
+	pv, err := sys.ParallelFactorize(part, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chol, err := sys.Factorize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dev float64
+	for k := range pv {
+		if d := math.Abs(pv[k] - chol.Val[k]); d > dev {
+			dev = d
+		}
+	}
+	fmt.Printf("parallel factorization (8 workers, %d unit blocks): max |L_par - L_seq| = %.2e\n",
+		len(part.Units), dev)
+
+	tr := sys.Traffic(sc)
+	fmt.Printf("simulated traffic at this schedule: %d units total, A=%.3f\n",
+		tr.Total, sc.Imbalance())
+}
+
+// matVec multiplies the full symmetric matrix by x.
+func matVec(m *repro.Matrix, x []float64) []float64 {
+	y := make([]float64, m.N)
+	for j := 0; j < m.N; j++ {
+		cj := m.Col(j)
+		vj := m.ColVal(j)
+		y[j] += vj[0] * x[j]
+		for k := 1; k < len(cj); k++ {
+			i := cj[k]
+			y[i] += vj[k] * x[j]
+			y[j] += vj[k] * x[i]
+		}
+	}
+	return y
+}

@@ -1,0 +1,51 @@
+// Trade-off study: the communication / load-balance tension that is the
+// paper's central observation, swept over grain size and cluster width.
+//
+// For LAP30 on 16 processors the program traces how growing the grain size
+// cuts data traffic (blocks re-use fetched data) while the load imbalance
+// factor A climbs (fewer, larger schedulable units), and how the minimum
+// cluster width moves the same trade-off (Table 4). The wrap-mapped
+// baseline anchors both ends: highest traffic, best balance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sys, err := repro.Analyze(repro.LAP30())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const procs = 16
+
+	wrap := sys.WrapSchedule(procs)
+	wt := sys.Traffic(wrap)
+	fmt.Printf("LAP30, P=%d. Wrap baseline: traffic=%d, A=%.3f\n\n", procs, wt.Total, wrap.Imbalance())
+
+	fmt.Println("grain sweep (width 4):")
+	fmt.Printf("%8s %8s %10s %8s %10s\n", "grain", "units", "traffic", "A", "vs wrap")
+	for _, g := range []int{2, 4, 8, 16, 25, 50, 100, 200} {
+		part := sys.Partition(repro.PartitionOptions{Grain: g, MinClusterWidth: 4})
+		sc := sys.BlockSchedule(part, procs)
+		tr := sys.Traffic(sc)
+		fmt.Printf("%8d %8d %10d %8.2f %9.0f%%\n",
+			g, len(part.Units), tr.Total, sc.Imbalance(),
+			100*float64(tr.Total)/float64(wt.Total))
+	}
+
+	fmt.Println("\nminimum cluster width sweep (grain 4, Table 4):")
+	fmt.Printf("%8s %8s %10s %8s\n", "width", "units", "traffic", "A")
+	for _, w := range []int{2, 4, 8, 16} {
+		part := sys.Partition(repro.PartitionOptions{Grain: 4, MinClusterWidth: w})
+		sc := sys.BlockSchedule(part, procs)
+		tr := sys.Traffic(sc)
+		fmt.Printf("%8d %8d %10d %8.2f\n", w, len(part.Units), tr.Total, sc.Imbalance())
+	}
+
+	fmt.Println("\nReading: larger grains cut traffic but concentrate work;")
+	fmt.Println("the paper's conclusion is to tune g and width per application.")
+}

@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// SimulateMakespanDynamic runs an event-driven list simulation in which
+// each processor, when idle, starts its highest-priority *ready* assigned
+// task instead of stalling on the static scan order. Priority is the
+// bottom level (the longest work-weighted path from the task to a sink),
+// the classical critical-path heuristic.
+//
+// Comparing this against SimulateMakespan separates two sources of idle
+// time: stalls caused by the static intra-processor order (recovered
+// here) and stalls intrinsic to the dependency graph and assignment
+// (not recoverable by any intra-processor reordering).
+func SimulateMakespanDynamic(tasks []Task, p int) SimResult {
+	n := len(tasks)
+	// Bottom levels, successors and indegrees.
+	succs := make([][]int32, n)
+	indeg := make([]int, n)
+	var total int64
+	for i := range tasks {
+		if tasks[i].ID != i {
+			panic(fmt.Sprintf("exec: task %d out of order", tasks[i].ID))
+		}
+		total += tasks[i].Work
+		for _, pr := range tasks[i].Preds {
+			succs[pr] = append(succs[pr], int32(i))
+			indeg[i]++
+		}
+	}
+	bottom := make([]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		var out int64
+		for _, s := range succs[i] {
+			if bottom[s] > out {
+				out = bottom[s]
+			}
+		}
+		bottom[i] = out + tasks[i].Work
+	}
+
+	// Per-processor ready heaps ordered by descending bottom level.
+	ready := make([]taskHeap, p)
+	for i := range tasks {
+		if indeg[i] == 0 {
+			pr := tasks[i].Proc
+			heap.Push(&ready[pr], heapItem{id: int32(i), prio: bottom[i]})
+		}
+	}
+	procBusyUntil := make([]int64, p) // completion time of the running task
+	running := make([]int32, p)       // task id or -1
+	for i := range running {
+		running[i] = -1
+	}
+	var eventQ eventHeap
+	now := int64(0)
+	remaining := n
+	start := func(proc int) {
+		if running[proc] != -1 || ready[proc].Len() == 0 {
+			return
+		}
+		it := heap.Pop(&ready[proc]).(heapItem)
+		running[proc] = it.id
+		procBusyUntil[proc] = now + tasks[it.id].Work
+		heap.Push(&eventQ, event{t: procBusyUntil[proc], proc: int32(proc)})
+	}
+	for proc := 0; proc < p; proc++ {
+		start(proc)
+	}
+	var span int64
+	for remaining > 0 {
+		if eventQ.Len() == 0 {
+			panic("exec: dynamic simulation deadlocked (dependency cycle?)")
+		}
+		ev := heap.Pop(&eventQ).(event)
+		now = ev.t
+		proc := int(ev.proc)
+		done := running[proc]
+		if done == -1 {
+			continue // stale event
+		}
+		running[proc] = -1
+		remaining--
+		if now > span {
+			span = now
+		}
+		for _, s := range succs[done] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				sp := tasks[s].Proc
+				heap.Push(&ready[sp], heapItem{id: s, prio: bottom[s]})
+				if running[sp] == -1 {
+					start(int(sp))
+				}
+			}
+		}
+		start(proc)
+	}
+	res := SimResult{P: p, Makespan: span, TotalWork: total}
+	res.Idle = int64(p)*span - total
+	if span > 0 {
+		res.Efficiency = float64(total) / (float64(p) * float64(span))
+	} else {
+		res.Efficiency = 1
+	}
+	return res
+}
+
+type heapItem struct {
+	id   int32
+	prio int64
+}
+
+type taskHeap []heapItem
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(a, b int) bool {
+	if h[a].prio != h[b].prio {
+		return h[a].prio > h[b].prio // larger bottom level first
+	}
+	return h[a].id < h[b].id
+}
+func (h taskHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type event struct {
+	t    int64
+	proc int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].t != h[b].t {
+		return h[a].t < h[b].t
+	}
+	return h[a].proc < h[b].proc
+}
+func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+func TestDynamicNeverWorseThanStatic(t *testing.T) {
+	// Dynamic ready-queue execution can only remove order-induced stalls,
+	// never add them, for the same assignment.
+	fc := func(seed int64) bool {
+		p := buildPipe(gen.Random(60, 1.4, seed), 4, 3)
+		for _, np := range []int{2, 4, 8} {
+			s := sched.BlockMap(p.part, np)
+			tasks := BlockTasks(p.part, s)
+			st := SimulateMakespan(tasks, np)
+			dy := SimulateMakespanDynamic(tasks, np)
+			if dy.Makespan > st.Makespan {
+				return false
+			}
+			if dy.Makespan < CriticalPath(tasks) || dy.Makespan < s.MaxWork() {
+				return false
+			}
+			if dy.TotalWork != st.TotalWork {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fc, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicSingleProc(t *testing.T) {
+	p := buildPipe(gen.Lap30(), 25, 4)
+	s := sched.BlockMap(p.part, 1)
+	r := SimulateMakespanDynamic(BlockTasks(p.part, s), 1)
+	if r.Makespan != r.TotalWork || r.Idle != 0 || r.Efficiency != 1 {
+		t.Fatalf("P=1 dynamic: %+v", r)
+	}
+}
+
+func TestDynamicKnownSchedule(t *testing.T) {
+	// Two independent chains on one processor plus a cross dependency:
+	//   t0 (5) -> t2 (2)   on proc 0: t0, t1, t2; proc 1: t3 (dep t1).
+	//   t1 (1)
+	// Static order on proc 0 runs t0, t1, t2 -> t1 done at 6, so t3
+	// starts at 6. Dynamic priority puts t1 first when profitable.
+	tasks := []Task{
+		{ID: 0, Proc: 0, Work: 5},
+		{ID: 1, Proc: 0, Work: 1},
+		{ID: 2, Proc: 0, Work: 2, Preds: []int32{0}},
+		{ID: 3, Proc: 1, Work: 10, Preds: []int32{1}},
+	}
+	st := SimulateMakespan(tasks, 2)
+	dy := SimulateMakespanDynamic(tasks, 2)
+	// Bottom levels: t1 has 1+10=11 > t0's 5+2=7, so dynamic runs t1
+	// first: t1 done at 1, t3 done at 11; proc0: t0 at 6, t2 at 8.
+	if dy.Makespan != 11 {
+		t.Errorf("dynamic makespan = %d, want 11", dy.Makespan)
+	}
+	// Static: t0 at 5, t1 at 6, t3 at 16.
+	if st.Makespan != 16 {
+		t.Errorf("static makespan = %d, want 16", st.Makespan)
+	}
+}
+
+func TestDynamicColumnTasks(t *testing.T) {
+	p := buildPipe(gen.Lap30(), 4, 4)
+	for _, np := range []int{4, 16} {
+		tasks := ColumnTasks(p.f, p.ops, p.ew, np)
+		st := SimulateMakespan(tasks, np)
+		dy := SimulateMakespanDynamic(tasks, np)
+		if dy.Makespan > st.Makespan {
+			t.Errorf("P=%d: dynamic %d worse than static %d", np, dy.Makespan, st.Makespan)
+		}
+	}
+}
+
+func BenchmarkDynamicMakespanLap30(b *testing.B) {
+	p := buildPipe(gen.Lap30(), 4, 4)
+	s := sched.BlockMap(p.part, 16)
+	tasks := BlockTasks(p.part, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateMakespanDynamic(tasks, 16)
+	}
+}

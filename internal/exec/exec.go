@@ -1,0 +1,341 @@
+// Package exec studies the effect the paper's metrics deliberately leave
+// out: dependency delays. Section 4 argues that "if the number of
+// processors is relatively small compared to the number of schedulable
+// units, then the allocation scheme described here provides enough
+// parallelism to keep the idle time to a minimum"; this package tests that
+// claim two ways.
+//
+// Makespan simulation: every task (unit block, or column for wrap mapping)
+// runs on its assigned processor for a duration equal to its work;
+// processors execute their tasks in the static scan order and stall until
+// a task's predecessors complete. The resulting makespan, idle fraction
+// and delay-aware efficiency refine the paper's A-based efficiency bound.
+//
+// Parallel execution: a real multi-goroutine factorization executes the
+// unit blocks concurrently, one worker per simulated processor,
+// synchronizing only on the block dependency graph. Matching the
+// sequential factor numerically proves the dependency graph of
+// core.Partition is sufficient for correct parallel execution.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+)
+
+// Task is a schedulable piece of work for the makespan simulation.
+type Task struct {
+	ID    int
+	Proc  int32
+	Work  int64
+	Preds []int32
+}
+
+// SimResult summarizes a makespan simulation.
+type SimResult struct {
+	P         int
+	Makespan  int64
+	TotalWork int64
+	// Idle is the summed processor idle time, P*Makespan - TotalWork.
+	Idle int64
+	// Efficiency is TotalWork / (P * Makespan).
+	Efficiency float64
+}
+
+// SimulateMakespan runs the static-order list simulation. Tasks must be
+// topologically ordered by ID (predecessor IDs smaller than successor
+// IDs); both the unit-block and the column task graphs satisfy this by
+// construction.
+func SimulateMakespan(tasks []Task, p int) SimResult {
+	procFree := make([]int64, p)
+	finish := make([]int64, len(tasks))
+	var total int64
+	for i := range tasks {
+		t := &tasks[i]
+		if t.ID != i {
+			panic(fmt.Sprintf("exec: task %d out of order", t.ID))
+		}
+		start := procFree[t.Proc]
+		for _, pr := range t.Preds {
+			if int(pr) >= i {
+				panic(fmt.Sprintf("exec: task %d depends on later task %d", i, pr))
+			}
+			if finish[pr] > start {
+				start = finish[pr]
+			}
+		}
+		finish[i] = start + t.Work
+		procFree[t.Proc] = finish[i]
+		total += t.Work
+	}
+	var span int64
+	for _, f := range procFree {
+		if f > span {
+			span = f
+		}
+	}
+	res := SimResult{P: p, Makespan: span, TotalWork: total}
+	res.Idle = int64(p)*span - total
+	if span > 0 {
+		res.Efficiency = float64(total) / (float64(p) * float64(span))
+	} else {
+		res.Efficiency = 1
+	}
+	return res
+}
+
+// BlockTasks converts a partitioned, scheduled factorization into makespan
+// tasks (one per unit block).
+func BlockTasks(part *core.Partition, s *sched.Schedule) []Task {
+	tasks := make([]Task, len(part.Units))
+	for i := range part.Units {
+		u := &part.Units[i]
+		tasks[i] = Task{ID: i, Proc: s.UnitProc[i], Work: u.Work, Preds: u.Preds}
+	}
+	return tasks
+}
+
+// ColumnTasks builds the task graph of the wrap-mapped column algorithm:
+// one task per column, depending on every column of its row structure.
+func ColumnTasks(f *symbolic.Factor, ops *model.Ops, elemWork []int64, p int) []Task {
+	colWork := model.ColumnWork(f, elemWork)
+	tasks := make([]Task, f.N)
+	for j := 0; j < f.N; j++ {
+		tasks[j] = Task{
+			ID:    j,
+			Proc:  int32(j % p),
+			Work:  colWork[j],
+			Preds: ops.RowCols(j),
+		}
+	}
+	return tasks
+}
+
+// CriticalPath returns the longest work-weighted path through the task
+// graph, the P-independent lower bound on the makespan.
+func CriticalPath(tasks []Task) int64 {
+	longest := make([]int64, len(tasks))
+	var best int64
+	for i := range tasks {
+		var in int64
+		for _, pr := range tasks[i].Preds {
+			if longest[pr] > in {
+				in = longest[pr]
+			}
+		}
+		longest[i] = in + tasks[i].Work
+		if longest[i] > best {
+			best = longest[i]
+		}
+	}
+	return best
+}
+
+// ParallelFactorize executes the numeric factorization concurrently: one
+// worker goroutine per processor, each processing its assigned unit blocks
+// in scan order, blocking until a block's predecessors (augmented with the
+// diagonal-scale dependencies) are complete. The element kernel computes
+//
+//	L[i,j] = (A[i,j] - sum_{k<j} L[i,k]*L[j,k]) / L[j,j]
+//
+// by intersecting the row structures of i and j, so a unit only reads
+// elements owned by its predecessors or earlier elements of itself.
+func ParallelFactorize(m *sparse.Matrix, part *core.Partition, s *sched.Schedule) (*NumericFactor, error) {
+	return parallelFactorize(m, part, s, false)
+}
+
+// ParallelFactorizeLDL executes the square-root-free LDL^T factorization
+// over the same partition, schedule and dependency graph. The paper's
+// Section 5 claims the methodology adapts "very easily ... to other
+// factoring methods"; this is that adaptation — only the element kernel
+// changes. The returned values follow numeric.LDL's convention (diagonal
+// positions hold D, off-diagonals hold unit-L entries).
+func ParallelFactorizeLDL(m *sparse.Matrix, part *core.Partition, s *sched.Schedule) (*NumericFactor, error) {
+	return parallelFactorize(m, part, s, true)
+}
+
+func parallelFactorize(m *sparse.Matrix, part *core.Partition, s *sched.Schedule, ldl bool) (*NumericFactor, error) {
+	if m.Val == nil {
+		return nil, fmt.Errorf("exec: matrix has no values")
+	}
+	f := part.F
+	if m.N != f.N {
+		return nil, fmt.Errorf("exec: dimension mismatch")
+	}
+	ops := model.NewOps(f)
+	// Execution dependencies: the update-pair preds plus the unit of the
+	// diagonal element of every column a unit touches (for the scale).
+	execPreds := make([][]int32, len(part.Units))
+	for ui := range part.Units {
+		u := &part.Units[ui]
+		set := map[int32]struct{}{}
+		for _, pr := range u.Preds {
+			set[pr] = struct{}{}
+		}
+		for j := u.ColLo; j <= u.ColHi && j < f.N; j++ {
+			du := part.ElemUnit[f.ColPtr[j]]
+			if int(du) != ui {
+				set[du] = struct{}{}
+			}
+		}
+		for pr := range set {
+			execPreds[ui] = append(execPreds[ui], pr)
+		}
+		sort.Slice(execPreds[ui], func(a, b int) bool { return execPreds[ui][a] < execPreds[ui][b] })
+	}
+	// Per-processor unit lists in scan (ID) order.
+	perProc := make([][]int, s.P)
+	for ui, pr := range s.UnitProc {
+		perProc[pr] = append(perProc[pr], ui)
+	}
+	// Unit -> its elements (positions), grouped by column in ascending
+	// column then row order, which is the order ElemUnit was built in.
+	unitElems := make([][]int32, len(part.Units))
+	for q := range part.ElemUnit {
+		u := part.ElemUnit[q]
+		unitElems[u] = append(unitElems[u], int32(q))
+	}
+	val := make([]float64, f.NNZ())
+	// A-values scattered into factor positions.
+	for j := 0; j < m.N; j++ {
+		cj := m.Col(j)
+		vj := m.ColVal(j)
+		fc := f.Col(j)
+		base := f.ColPtr[j]
+		t := 0
+		for k, i := range cj {
+			for fc[t] != i {
+				t++
+			}
+			val[base+t] = vj[k]
+		}
+	}
+	colOf := make([]int32, f.NNZ())
+	for j := 0; j < f.N; j++ {
+		for q := f.ColPtr[j]; q < f.ColPtr[j+1]; q++ {
+			colOf[q] = int32(j)
+		}
+	}
+	// position lookup: for (r, c) find the value index.
+	posOf := func(r, c int) int {
+		col := f.Col(c)
+		lo, hi := 0, len(col)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if col[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return f.ColPtr[c] + lo
+	}
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	done := make([]bool, len(part.Units))
+	var firstErr error
+
+	computeUnit := func(ui int) error {
+		for _, q := range unitElems[ui] {
+			i := f.RowInd[q]
+			j := int(colOf[q])
+			sum := val[q]
+			// Intersect row structures of i and j for columns k < j.
+			ri, rj := ops.RowCols(i), ops.RowCols(j)
+			a, b := 0, 0
+			for a < len(ri) && b < len(rj) {
+				switch {
+				case ri[a] < rj[b]:
+					a++
+				case ri[a] > rj[b]:
+					b++
+				default:
+					k := int(ri[a])
+					prod := val[posOf(i, k)] * val[posOf(j, k)]
+					if ldl {
+						prod *= val[f.ColPtr[k]] // D[k]
+					}
+					sum -= prod
+					a++
+					b++
+				}
+			}
+			if i == j {
+				if ldl {
+					if sum == 0 || math.IsNaN(sum) {
+						return fmt.Errorf("exec: zero pivot at column %d", j)
+					}
+					val[q] = sum
+				} else {
+					if sum <= 0 || math.IsNaN(sum) {
+						return fmt.Errorf("exec: nonpositive pivot %g at column %d", sum, j)
+					}
+					val[q] = math.Sqrt(sum)
+				}
+			} else {
+				val[q] = sum / val[f.ColPtr[j]]
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < s.P; p++ {
+		wg.Add(1)
+		go func(units []int) {
+			defer wg.Done()
+			for _, ui := range units {
+				mu.Lock()
+				for !allDone(done, execPreds[ui]) && firstErr == nil {
+					cond.Wait()
+				}
+				if firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+				err := computeUnit(ui)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				done[ui] = true
+				cond.Broadcast()
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(perProc[p])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &NumericFactor{F: f, Val: val}, nil
+}
+
+func allDone(done []bool, preds []int32) bool {
+	for _, p := range preds {
+		if !done[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumericFactor is the numeric output of the parallel execution; Val
+// aligns with the row indices of the symbolic structure F.
+type NumericFactor struct {
+	F   *symbolic.Factor
+	Val []float64
+}

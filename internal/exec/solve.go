@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/sched"
+)
+
+// ParallelSolve runs the two triangular solves of the paper's step 4
+// (L·y = b, then Lᵀ·x = y) with one worker goroutine per simulated
+// processor, each owning the columns the schedule assigns to it (a column
+// belongs to the owner of its diagonal element).
+//
+// Both sweeps use the fan-in formulation, so every solution component is
+// written exactly once by its owner:
+//
+//	forward:  y[j] = (b[j] - Σ_{k in rowstruct(j)} L[j,k]·y[k]) / L[j,j]
+//	backward: x[j] = (y[j] - Σ_{i in struct(j), i>j} L[i,j]·x[i]) / L[j,j]
+//
+// The forward sweep's dependencies are the factor's row structure; the
+// backward sweep's are the column structure, traversed in reverse.
+func ParallelSolve(chol *numeric.Cholesky, s *sched.Schedule, b []float64) ([]float64, error) {
+	f := chol.F
+	n := f.N
+	if len(b) != n {
+		return nil, fmt.Errorf("exec: rhs length %d, want %d", len(b), n)
+	}
+	if len(s.ElemProc) != f.NNZ() {
+		return nil, fmt.Errorf("exec: schedule covers a different factor")
+	}
+	ops := model.NewOps(f)
+	colProc := make([]int32, n)
+	perProc := make([][]int, s.P)
+	for j := 0; j < n; j++ {
+		p := s.ElemProc[f.ColPtr[j]]
+		colProc[j] = p
+		perProc[p] = append(perProc[p], j)
+	}
+	// posOf(i, j): value index of L[i][j].
+	posOf := func(i, j int) int {
+		col := f.Col(j)
+		lo, hi := 0, len(col)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if col[mid] < i {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return f.ColPtr[j] + lo
+	}
+
+	// Forward sweep.
+	y := make([]float64, n)
+	runSweep(s.P, perProc, false, func(j int) {
+		sum := b[j]
+		for _, k := range ops.RowCols(j) {
+			sum -= chol.Val[posOf(j, int(k))] * y[k]
+		}
+		y[j] = sum / chol.Val[f.ColPtr[j]]
+	}, func(j int) []int32 { return ops.RowCols(j) }, n)
+
+	// Backward sweep: dependencies are struct(j) below the diagonal,
+	// traversed in decreasing column order.
+	x := make([]float64, n)
+	backDeps := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		col := f.Col(j)[1:]
+		deps := make([]int32, len(col))
+		for t, i := range col {
+			deps[t] = int32(i)
+		}
+		backDeps[j] = deps
+	}
+	runSweep(s.P, perProc, true, func(j int) {
+		sum := y[j]
+		for q := f.ColPtr[j] + 1; q < f.ColPtr[j+1]; q++ {
+			sum -= chol.Val[q] * x[f.RowInd[q]]
+		}
+		x[j] = sum / chol.Val[f.ColPtr[j]]
+	}, func(j int) []int32 { return backDeps[j] }, n)
+	return x, nil
+}
+
+// runSweep executes one triangular sweep: each processor's worker walks
+// its columns (reversed for the backward sweep) and blocks until the
+// column's dependencies are done.
+func runSweep(p int, perProc [][]int, reverse bool, compute func(j int), deps func(j int) []int32, n int) {
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	done := make([]bool, n)
+	var wg sync.WaitGroup
+	for proc := 0; proc < p; proc++ {
+		cols := perProc[proc]
+		wg.Add(1)
+		go func(cols []int) {
+			defer wg.Done()
+			order := cols
+			if reverse {
+				order = make([]int, len(cols))
+				for i, j := range cols {
+					order[len(cols)-1-i] = j
+				}
+			}
+			for _, j := range order {
+				mu.Lock()
+				for !allDone(done, deps(j)) {
+					cond.Wait()
+				}
+				mu.Unlock()
+				compute(j)
+				mu.Lock()
+				done[j] = true
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}(cols)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,249 @@
+// Package interval implements an augmented, self-balancing interval tree.
+//
+// The partitioner of Venugopal & Naik computes the block-level dependencies
+// of Section 3.3 "using this classification and the interval tree
+// structure". Unit blocks are dense on integer row/column extents, so every
+// dependency test in the ten categories reduces to interval-intersection
+// queries; this package supplies those queries in O(log n + k).
+//
+// Intervals are closed integer ranges [Lo, Hi] carrying an integer payload
+// (typically a unit-block index). The tree is an AVL tree keyed on
+// (Lo, Hi, ID) and augmented with the subtree maximum of Hi, the classical
+// CLRS construction.
+package interval
+
+import "fmt"
+
+// Interval is a closed integer range [Lo, Hi] with a payload ID.
+type Interval struct {
+	Lo, Hi int
+	ID     int
+}
+
+// Overlaps reports whether the closed ranges [a.Lo, a.Hi] and [lo, hi]
+// intersect.
+func (a Interval) Overlaps(lo, hi int) bool { return a.Lo <= hi && lo <= a.Hi }
+
+// Contains reports whether x lies in [a.Lo, a.Hi].
+func (a Interval) Contains(x int) bool { return a.Lo <= x && x <= a.Hi }
+
+type node struct {
+	iv          Interval
+	maxHi       int
+	height      int
+	left, right *node
+}
+
+// Tree is an augmented AVL interval tree. The zero value is an empty tree
+// ready to use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds the interval [lo, hi] with payload id. Duplicate intervals
+// (even with equal ids) are allowed. It panics if lo > hi.
+func (t *Tree) Insert(lo, hi, id int) {
+	if lo > hi {
+		panic(fmt.Sprintf("interval: invalid range [%d,%d]", lo, hi))
+	}
+	t.root = insert(t.root, Interval{lo, hi, id})
+	t.size++
+}
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func maxHi(n *node) int {
+	if n == nil {
+		return -1 << 62
+	}
+	return n.maxHi
+}
+
+func (n *node) update() {
+	n.height = 1 + max(height(n.left), height(n.right))
+	n.maxHi = n.iv.Hi
+	if m := maxHi(n.left); m > n.maxHi {
+		n.maxHi = m
+	}
+	if m := maxHi(n.right); m > n.maxHi {
+		n.maxHi = m
+	}
+}
+
+func rotateRight(y *node) *node {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.update()
+	x.update()
+	return x
+}
+
+func rotateLeft(x *node) *node {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.update()
+	y.update()
+	return y
+}
+
+func balance(n *node) *node {
+	n.update()
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func less(a, b Interval) bool {
+	if a.Lo != b.Lo {
+		return a.Lo < b.Lo
+	}
+	if a.Hi != b.Hi {
+		return a.Hi < b.Hi
+	}
+	return a.ID < b.ID
+}
+
+func insert(n *node, iv Interval) *node {
+	if n == nil {
+		nn := &node{iv: iv}
+		nn.update()
+		return nn
+	}
+	if less(iv, n.iv) {
+		n.left = insert(n.left, iv)
+	} else {
+		n.right = insert(n.right, iv)
+	}
+	return balance(n)
+}
+
+// Overlap appends to dst the payload IDs of all intervals overlapping the
+// closed range [lo, hi] and returns the extended slice. The order of
+// results follows the tree's in-order traversal (sorted by Lo, then Hi,
+// then ID).
+func (t *Tree) Overlap(lo, hi int, dst []int) []int {
+	return overlap(t.root, lo, hi, dst)
+}
+
+func overlap(n *node, lo, hi int, dst []int) []int {
+	if n == nil || n.maxHi < lo {
+		return dst
+	}
+	dst = overlap(n.left, lo, hi, dst)
+	if n.iv.Overlaps(lo, hi) {
+		dst = append(dst, n.iv.ID)
+	}
+	if n.iv.Lo <= hi {
+		dst = overlap(n.right, lo, hi, dst)
+	}
+	return dst
+}
+
+// OverlapIntervals is like Overlap but returns the full intervals.
+func (t *Tree) OverlapIntervals(lo, hi int, dst []Interval) []Interval {
+	return overlapIv(t.root, lo, hi, dst)
+}
+
+func overlapIv(n *node, lo, hi int, dst []Interval) []Interval {
+	if n == nil || n.maxHi < lo {
+		return dst
+	}
+	dst = overlapIv(n.left, lo, hi, dst)
+	if n.iv.Overlaps(lo, hi) {
+		dst = append(dst, n.iv)
+	}
+	if n.iv.Lo <= hi {
+		dst = overlapIv(n.right, lo, hi, dst)
+	}
+	return dst
+}
+
+// Stab appends the payload IDs of all intervals containing the point x.
+func (t *Tree) Stab(x int, dst []int) []int { return t.Overlap(x, x, dst) }
+
+// AnyOverlap reports whether at least one stored interval overlaps [lo, hi].
+func (t *Tree) AnyOverlap(lo, hi int) bool {
+	for n := t.root; n != nil; {
+		if n.iv.Overlaps(lo, hi) {
+			return true
+		}
+		if n.left != nil && n.left.maxHi >= lo {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return false
+}
+
+// Visit calls f on every stored interval in sorted order. If f returns
+// false the traversal stops.
+func (t *Tree) Visit(f func(Interval) bool) {
+	var walk func(*node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && f(n.iv) && walk(n.right)
+	}
+	walk(t.root)
+}
+
+// checkInvariants verifies AVL balance and max-augmentation; used by tests.
+func (t *Tree) checkInvariants() error {
+	var walk func(n *node) (h, mx int, err error)
+	walk = func(n *node) (int, int, error) {
+		if n == nil {
+			return 0, -1 << 62, nil
+		}
+		lh, lm, err := walk(n.left)
+		if err != nil {
+			return 0, 0, err
+		}
+		rh, rm, err := walk(n.right)
+		if err != nil {
+			return 0, 0, err
+		}
+		if lh-rh > 1 || rh-lh > 1 {
+			return 0, 0, fmt.Errorf("interval: unbalanced node [%d,%d]", n.iv.Lo, n.iv.Hi)
+		}
+		mx := n.iv.Hi
+		if lm > mx {
+			mx = lm
+		}
+		if rm > mx {
+			mx = rm
+		}
+		if mx != n.maxHi {
+			return 0, 0, fmt.Errorf("interval: bad maxHi at [%d,%d]: have %d want %d", n.iv.Lo, n.iv.Hi, n.maxHi, mx)
+		}
+		h := 1 + max(lh, rh)
+		if h != n.height {
+			return 0, 0, fmt.Errorf("interval: bad height at [%d,%d]", n.iv.Lo, n.iv.Hi)
+		}
+		return h, mx, nil
+	}
+	_, _, err := walk(t.root)
+	return err
+}

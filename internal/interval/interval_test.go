@@ -1,0 +1,223 @@
+package interval
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero length")
+	}
+	if got := tr.Overlap(0, 100, nil); len(got) != 0 {
+		t.Fatalf("Overlap on empty tree = %v", got)
+	}
+	if tr.AnyOverlap(0, 100) {
+		t.Fatal("AnyOverlap true on empty tree")
+	}
+}
+
+func TestInsertPanicsOnInvalid(t *testing.T) {
+	var tr Tree
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lo > hi")
+		}
+	}()
+	tr.Insert(5, 4, 0)
+}
+
+func TestBasicQueries(t *testing.T) {
+	var tr Tree
+	tr.Insert(1, 3, 10)
+	tr.Insert(5, 8, 11)
+	tr.Insert(2, 6, 12)
+	tr.Insert(9, 9, 13)
+
+	cases := []struct {
+		lo, hi int
+		want   []int
+	}{
+		{0, 0, nil},
+		{3, 3, []int{10, 12}},
+		{4, 4, []int{12}},
+		{7, 10, []int{11, 13}},
+		{0, 100, []int{10, 12, 11, 13}},
+		{9, 9, []int{13}},
+	}
+	for _, c := range cases {
+		got := tr.Overlap(c.lo, c.hi, nil)
+		if len(got) != len(c.want) {
+			t.Errorf("Overlap(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+			continue
+		}
+		sort.Ints(got)
+		want := append([]int(nil), c.want...)
+		sort.Ints(want)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("Overlap(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+				break
+			}
+		}
+		if tr.AnyOverlap(c.lo, c.hi) != (len(c.want) > 0) {
+			t.Errorf("AnyOverlap(%d,%d) inconsistent", c.lo, c.hi)
+		}
+	}
+	if got := tr.Stab(2, nil); len(got) != 2 {
+		t.Errorf("Stab(2) = %v, want two results", got)
+	}
+}
+
+func TestVisitOrderAndEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 10; i >= 0; i-- {
+		tr.Insert(i, i+2, i)
+	}
+	var seen []int
+	tr.Visit(func(iv Interval) bool {
+		seen = append(seen, iv.Lo)
+		return true
+	})
+	if !sort.IntsAreSorted(seen) {
+		t.Fatalf("Visit not in order: %v", seen)
+	}
+	if len(seen) != 11 {
+		t.Fatalf("visited %d, want 11", len(seen))
+	}
+	count := 0
+	tr.Visit(func(Interval) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d, want 3", count)
+	}
+}
+
+// brute is the reference implementation.
+type brute []Interval
+
+func (b brute) overlap(lo, hi int) []int {
+	var out []int
+	for _, iv := range b {
+		if iv.Overlaps(lo, hi) {
+			out = append(out, iv.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree
+		var ref brute
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			lo := rng.Intn(100)
+			hi := lo + rng.Intn(30)
+			tr.Insert(lo, hi, i)
+			ref = append(ref, Interval{lo, hi, i})
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		if tr.Len() != n {
+			return false
+		}
+		for q := 0; q < 50; q++ {
+			lo := rng.Intn(120) - 10
+			hi := lo + rng.Intn(40)
+			got := tr.Overlap(lo, hi, nil)
+			sort.Ints(got)
+			want := ref.overlap(lo, hi)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			if tr.AnyOverlap(lo, hi) != (len(want) > 0) {
+				return false
+			}
+			ivs := tr.OverlapIntervals(lo, hi, nil)
+			if len(ivs) != len(want) {
+				return false
+			}
+			for _, iv := range ivs {
+				if !iv.Overlaps(lo, hi) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedInsertionStaysBalanced(t *testing.T) {
+	var tr Tree
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tr.Insert(i, i, i)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h := height(tr.root); h > 14 { // AVL height bound ~1.44 log2(n)
+		t.Fatalf("tree height %d too large for %d sorted inserts", h, n)
+	}
+	got := tr.Overlap(1000, 1002, nil)
+	if len(got) != 3 {
+		t.Fatalf("Overlap after sorted insert = %v", got)
+	}
+}
+
+func TestDuplicateIntervals(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 5; i++ {
+		tr.Insert(3, 7, 42)
+	}
+	if got := tr.Stab(5, nil); len(got) != 5 {
+		t.Fatalf("Stab over duplicates = %v, want 5 hits", got)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		var tr Tree
+		for k := 0; k < 1000; k++ {
+			lo := rng.Intn(10000)
+			tr.Insert(lo, lo+rng.Intn(100), k)
+		}
+	}
+}
+
+func BenchmarkOverlapQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var tr Tree
+	for k := 0; k < 10000; k++ {
+		lo := rng.Intn(100000)
+		tr.Insert(lo, lo+rng.Intn(1000), k)
+	}
+	buf := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Intn(100000)
+		buf = tr.Overlap(lo, lo+500, buf[:0])
+	}
+}

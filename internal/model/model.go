@@ -1,0 +1,193 @@
+// Package model defines the computational model of sparse Cholesky
+// factorization used throughout the reproduction: the enumeration of
+// element-level update operations (Figure 1 of the paper) and the work
+// model of Section 4.
+//
+// Work model, quoted from the paper: "The computation cost of updating an
+// element of the matrix by a pair of off-diagonal elements is assumed to be
+// two units; updating the element by the diagonal element is assumed to
+// cost one unit."
+//
+// Concretely, for factor element (i, j) with i >= j:
+//
+//	work(i,j) = 2 * |{k < j : L[i,k] != 0 and L[j,k] != 0}| + 1
+//
+// where the +1 is the final update by the diagonal (the scale for
+// off-diagonal elements, the square root for the diagonal itself).
+package model
+
+import "repro/internal/symbolic"
+
+// Ops provides efficient enumeration of the element-level operations of a
+// factorization over the symbolic structure f.
+type Ops struct {
+	F *symbolic.Factor
+	// rowCols[r] lists the columns k < r with L[r,k] != 0, increasing.
+	rowCols [][]int32
+}
+
+// NewOps prepares the operation enumerator for a factor structure.
+func NewOps(f *symbolic.Factor) *Ops {
+	n := f.N
+	counts := make([]int, n)
+	for j := 0; j < n; j++ {
+		for _, i := range f.Col(j)[1:] {
+			counts[i]++
+		}
+	}
+	rows := make([][]int32, n)
+	for i := range rows {
+		rows[i] = make([]int32, 0, counts[i])
+	}
+	for j := 0; j < n; j++ {
+		for _, i := range f.Col(j)[1:] {
+			rows[i] = append(rows[i], int32(j))
+		}
+	}
+	return &Ops{F: f, rowCols: rows}
+}
+
+// RowCols returns the columns k < r with L[r,k] != 0 (the factor's row
+// structure), in increasing order. The slice aliases internal storage.
+func (o *Ops) RowCols(r int) []int32 { return o.rowCols[r] }
+
+// Update is one element-level operation L[tgt] -= L[srcI]*L[srcJ], where
+// the fields are indices into the factor's nonzero array (positions in
+// F.RowInd). For diagonal targets srcI == srcJ.
+type Update struct {
+	Tgt, SrcI, SrcJ int32
+}
+
+// ForEachUpdate calls fn for every pair-update operation of the
+// factorization, in increasing source-column order. For target element
+// (i, j) updated from column k, SrcI is the position of (i, k), SrcJ the
+// position of (j, k), and Tgt the position of (i, j).
+//
+// Enumeration is column-driven over targets: for each target column j,
+// every source column k in the row structure of j contributes updates to
+// all elements (i, j) with i in struct(k), i >= j. The fill theorem
+// guarantees every such (i, j) is present in the factor structure.
+func (o *Ops) ForEachUpdate(fn func(u Update)) {
+	f := o.F
+	n := f.N
+	// ptr[k] tracks the position of the current target column j within
+	// column k; target columns visit k in increasing order, so the pointer
+	// only advances.
+	ptr := make([]int32, n)
+	for j := 0; j < n; j++ {
+		ptr[j] = int32(f.ColPtr[j]) // start at the diagonal
+	}
+	// pos scatters struct(j) into nonzero positions for the current j.
+	pos := make([]int32, n)
+	for j := 0; j < n; j++ {
+		cj := f.Col(j)
+		base := f.ColPtr[j]
+		for t, i := range cj {
+			pos[i] = int32(base + t)
+		}
+		for _, k := range o.rowCols[j] {
+			// Advance column k's pointer to row j.
+			p := ptr[k]
+			end := int32(f.ColPtr[k+1])
+			for p < end && f.RowInd[p] < j {
+				p++
+			}
+			ptr[k] = p
+			if p >= end || f.RowInd[p] != j {
+				// Structure violation; cannot happen for a factor produced
+				// by symbolic.Analyze.
+				panic("model: row structure inconsistent with column structure")
+			}
+			srcJ := p
+			for q := p; q < end; q++ {
+				i := f.RowInd[q]
+				fn(Update{Tgt: pos[i], SrcI: int32(q), SrcJ: srcJ})
+			}
+		}
+	}
+}
+
+// ForEachScale calls fn for every final diagonal update: for each
+// off-diagonal element (i, j), its scale by the diagonal (j, j); and for
+// each diagonal element, its square root (diag position passed twice).
+func (o *Ops) ForEachScale(fn func(tgt, diag int32)) {
+	f := o.F
+	for j := 0; j < f.N; j++ {
+		base := int32(f.ColPtr[j])
+		for q := base; q < int32(f.ColPtr[j+1]); q++ {
+			fn(q, base)
+		}
+	}
+}
+
+// UpdateCounts returns, for every factor nonzero position, the number of
+// pair updates it receives.
+func (o *Ops) UpdateCounts() []int32 {
+	counts := make([]int32, o.F.NNZ())
+	o.ForEachUpdate(func(u Update) { counts[u.Tgt]++ })
+	return counts
+}
+
+// ElementWork returns the work of every factor element under the paper's
+// model: 2 units per pair update plus 1 unit for the diagonal update.
+func ElementWork(o *Ops) []int64 {
+	counts := o.UpdateCounts()
+	w := make([]int64, len(counts))
+	for p, c := range counts {
+		w[p] = 2*int64(c) + 1
+	}
+	return w
+}
+
+// ColumnWork sums element work per column.
+func ColumnWork(f *symbolic.Factor, elemWork []int64) []int64 {
+	w := make([]int64, f.N)
+	for j := 0; j < f.N; j++ {
+		var s int64
+		for p := f.ColPtr[j]; p < f.ColPtr[j+1]; p++ {
+			s += elemWork[p]
+		}
+		w[j] = s
+	}
+	return w
+}
+
+// TotalWork sums all element work.
+func TotalWork(elemWork []int64) int64 {
+	var s int64
+	for _, w := range elemWork {
+		s += w
+	}
+	return s
+}
+
+// CountUpdates returns the total number of pair-update operations,
+// sum over columns k of c_k*(c_k+1)/2 where c_k is the number of
+// sub-diagonal nonzeros of column k. Used to cross-check enumeration.
+func CountUpdates(f *symbolic.Factor) int64 {
+	var u int64
+	for k := 0; k < f.N; k++ {
+		c := int64(f.ColLen(k) - 1)
+		u += c * (c + 1) / 2
+	}
+	return u
+}
+
+// SolveElementWork returns the per-element work of the two triangular
+// solves (Lu = b and Lᵀv = u, the paper's step 4). Under the same cost
+// convention as the factorization model, every off-diagonal element
+// performs one multiply-subtract in each sweep (2 units each, 4 total)
+// and every diagonal element one division per sweep (1 unit each,
+// 2 total). The paper's Section 5 points out that scheduling the solves
+// adds flexibility for load balancing; this model makes that measurable.
+func SolveElementWork(f *symbolic.Factor) []int64 {
+	w := make([]int64, f.NNZ())
+	for j := 0; j < f.N; j++ {
+		base := f.ColPtr[j]
+		w[base] = 2
+		for q := base + 1; q < f.ColPtr[j+1]; q++ {
+			w[q] = 4
+		}
+	}
+	return w
+}

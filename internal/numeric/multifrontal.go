@@ -1,0 +1,110 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+)
+
+// FactorizeMultifrontal computes the Cholesky factor with the multifrontal
+// method: each column assembles a dense frontal matrix from its entries of
+// A and the update matrices of its elimination-tree children (the
+// "extend-add" operation), eliminates its pivot, and passes the Schur
+// complement to its parent.
+//
+// The method is algorithmically independent of the left-looking kernel in
+// Factorize — updates flow through dense frontal matrices along the etree
+// rather than through column scatter/gather — so agreement between the two
+// is a strong cross-validation of both, and of the symbolic structure
+// (frontal row sets are exactly the factor's column structures).
+func FactorizeMultifrontal(m *sparse.Matrix, f *symbolic.Factor) (*Cholesky, error) {
+	if m.Val == nil {
+		return nil, fmt.Errorf("numeric: matrix has no values")
+	}
+	if m.N != f.N {
+		return nil, fmt.Errorf("numeric: dimension mismatch %d vs %d", m.N, f.N)
+	}
+	n := m.N
+	val := make([]float64, f.NNZ())
+	// update[j] is the Schur complement produced by column j: a dense
+	// symmetric matrix over rows f.Col(j)[1:], stored as its lower
+	// triangle in row-major packed order. It is consumed (and released)
+	// by j's parent.
+	update := make([][]float64, n)
+	// Children lists from the elimination tree.
+	childHead := make([]int, n)
+	childNext := make([]int, n)
+	for i := range childHead {
+		childHead[i] = -1
+		childNext[i] = -1
+	}
+	for j := n - 1; j >= 0; j-- {
+		if p := f.Parent[j]; p != -1 {
+			childNext[j] = childHead[p]
+			childHead[p] = j
+		}
+	}
+	// pos maps global row index -> position in the current front.
+	pos := make([]int, n)
+	for j := 0; j < n; j++ {
+		front := f.Col(j) // rows of the frontal matrix, front[0] == j
+		k := len(front)
+		for t, r := range front {
+			pos[r] = t
+		}
+		// Dense frontal matrix, lower triangle packed row-major:
+		// F[r][c] at frontBuf[r*(r+1)/2 + c] for c <= r (front-local
+		// indices).
+		frontBuf := make([]float64, k*(k+1)/2)
+		// Assemble A's column j (A's symmetric part within the front is
+		// only its column j, since rows of A(i,j) with i in front and
+		// j' in front, j' > j belong to later columns).
+		acol := m.Col(j)
+		avals := m.ColVal(j)
+		for t, i := range acol {
+			frontBuf[pos[i]*(pos[i]+1)/2] += avals[t] // column 0 of the front
+		}
+		// Extend-add the children's update matrices.
+		for c := childHead[j]; c != -1; c = childNext[c] {
+			crows := f.Col(c)[1:] // rows of c's update matrix
+			u := update[c]
+			for a := 0; a < len(crows); a++ {
+				pa := pos[crows[a]]
+				for b := 0; b <= a; b++ {
+					pb := pos[crows[b]]
+					ra, rb := pa, pb
+					if ra < rb {
+						ra, rb = rb, ra
+					}
+					frontBuf[ra*(ra+1)/2+rb] += u[a*(a+1)/2+b]
+				}
+			}
+			update[c] = nil // release
+		}
+		// Eliminate the pivot (front-local row/column 0).
+		pivot := frontBuf[0]
+		if pivot <= 0 || math.IsNaN(pivot) {
+			return nil, &NotPositiveDefiniteError{Column: j, Pivot: pivot}
+		}
+		d := math.Sqrt(pivot)
+		base := f.ColPtr[j]
+		val[base] = d
+		for r := 1; r < k; r++ {
+			val[base+r] = frontBuf[r*(r+1)/2] / d
+		}
+		// Schur complement over the remaining k-1 rows.
+		if k > 1 {
+			u := make([]float64, (k-1)*k/2)
+			for r := 1; r < k; r++ {
+				lr := val[base+r]
+				for c := 1; c <= r; c++ {
+					u[(r-1)*r/2+(c-1)] = frontBuf[r*(r+1)/2+c] - lr*val[base+c]
+				}
+			}
+			update[j] = u
+		}
+	}
+	return &Cholesky{F: f, Val: val}, nil
+}

@@ -1,0 +1,234 @@
+// Package numeric implements sequential sparse Cholesky factorization and
+// triangular solves on top of the symbolic structure.
+//
+// The paper's partitioner never runs numbers — it schedules the update
+// operations of Figure 1 (L[i,j] -= L[i,k]*L[j,k], then a scale by the
+// square root of the diagonal). This package executes exactly those
+// operations sequentially, which serves two purposes in the reproduction:
+// it validates the pipeline end-to-end (the block-parallel executor in
+// internal/exec must produce the same factor), and it grounds the work
+// model used by the scheduler (2 units per off-diagonal pair update, 1 unit
+// per diagonal update).
+package numeric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+)
+
+// Cholesky is a numeric Cholesky factor: values aligned with the row
+// indices of the symbolic factor structure F, so that
+// A = L*Lᵀ with L lower triangular.
+type Cholesky struct {
+	F   *symbolic.Factor
+	Val []float64
+}
+
+// NotPositiveDefiniteError reports a nonpositive pivot during factorization.
+type NotPositiveDefiniteError struct {
+	Column int
+	Pivot  float64
+}
+
+func (e *NotPositiveDefiniteError) Error() string {
+	return fmt.Sprintf("numeric: nonpositive pivot %g at column %d", e.Pivot, e.Column)
+}
+
+// Factorize computes the numeric Cholesky factor of m using the symbolic
+// structure f (which must be Analyze(m) or a superset of the true
+// structure). It implements the classical left-looking column algorithm:
+// column j receives one update from every column k < j with L[j][k] != 0,
+// then is scaled by the square root of its diagonal.
+func Factorize(m *sparse.Matrix, f *symbolic.Factor) (*Cholesky, error) {
+	if m.Val == nil {
+		return nil, fmt.Errorf("numeric: matrix has no values")
+	}
+	if m.N != f.N {
+		return nil, fmt.Errorf("numeric: dimension mismatch %d vs %d", m.N, f.N)
+	}
+	n := m.N
+	val := make([]float64, f.NNZ())
+	w := make([]float64, n)   // dense accumulator for the current column
+	ptr := make([]int, n)     // per-column pointer to next update row
+	link := make([]int, n)    // link[r]: head of column chain keyed by row r
+	nextCol := make([]int, n) // chain links
+	for i := range link {
+		link[i] = -1
+		nextCol[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		cj := f.Col(j)
+		// Scatter A's column j into w.
+		for _, i := range cj {
+			w[i] = 0
+		}
+		acol := m.Col(j)
+		avals := m.ColVal(j)
+		for k, i := range acol {
+			w[i] = avals[k]
+		}
+		// Apply updates from all columns k with L[j][k] != 0.
+		for k := link[j]; k != -1; {
+			nk := nextCol[k]
+			p := ptr[k]
+			end := f.ColPtr[k+1]
+			ljk := val[p]
+			for q := p; q < end; q++ {
+				w[f.RowInd[q]] -= val[q] * ljk
+			}
+			// Advance column k to its next row block.
+			ptr[k] = p + 1
+			if p+1 < end {
+				r := f.RowInd[p+1]
+				nextCol[k] = link[r]
+				link[r] = k
+			}
+			k = nk
+		}
+		// Scale.
+		pivot := w[j]
+		if pivot <= 0 || math.IsNaN(pivot) {
+			return nil, &NotPositiveDefiniteError{Column: j, Pivot: pivot}
+		}
+		d := math.Sqrt(pivot)
+		base := f.ColPtr[j]
+		val[base] = d
+		for q := base + 1; q < f.ColPtr[j+1]; q++ {
+			val[q] = w[f.RowInd[q]] / d
+		}
+		// Register column j for its first sub-diagonal row.
+		if f.ColPtr[j+1] > base+1 {
+			ptr[j] = base + 1
+			r := f.RowInd[base+1]
+			nextCol[j] = link[r]
+			link[r] = j
+		}
+	}
+	return &Cholesky{F: f, Val: val}, nil
+}
+
+// LowerSolve solves L*y = b in place of a fresh slice and returns y.
+func (c *Cholesky) LowerSolve(b []float64) []float64 {
+	n := c.F.N
+	y := append([]float64(nil), b...)
+	for j := 0; j < n; j++ {
+		base := c.F.ColPtr[j]
+		y[j] /= c.Val[base]
+		yj := y[j]
+		for q := base + 1; q < c.F.ColPtr[j+1]; q++ {
+			y[c.F.RowInd[q]] -= c.Val[q] * yj
+		}
+	}
+	return y
+}
+
+// UpperSolve solves Lᵀ*x = y and returns x.
+func (c *Cholesky) UpperSolve(y []float64) []float64 {
+	n := c.F.N
+	x := append([]float64(nil), y...)
+	for j := n - 1; j >= 0; j-- {
+		base := c.F.ColPtr[j]
+		sum := x[j]
+		for q := base + 1; q < c.F.ColPtr[j+1]; q++ {
+			sum -= c.Val[q] * x[c.F.RowInd[q]]
+		}
+		x[j] = sum / c.Val[base]
+	}
+	return x
+}
+
+// Solve solves A*x = b for the matrix that was factorized.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	return c.UpperSolve(c.LowerSolve(b))
+}
+
+// L returns the factor as a lower-triangular sparse matrix with values.
+func (c *Cholesky) L() *sparse.Matrix {
+	return &sparse.Matrix{
+		N:      c.F.N,
+		ColPtr: append([]int(nil), c.F.ColPtr...),
+		RowInd: append([]int(nil), c.F.RowInd...),
+		Val:    append([]float64(nil), c.Val...),
+	}
+}
+
+// MatVec computes y = A*x for the full symmetric matrix stored as its
+// lower triangle.
+func MatVec(m *sparse.Matrix, x []float64) []float64 {
+	y := make([]float64, m.N)
+	for j := 0; j < m.N; j++ {
+		cj := m.Col(j)
+		vj := m.ColVal(j)
+		y[j] += vj[0] * x[j]
+		for k := 1; k < len(cj); k++ {
+			i := cj[k]
+			y[i] += vj[k] * x[j]
+			y[j] += vj[k] * x[i]
+		}
+	}
+	return y
+}
+
+// ResidualNorm returns ‖A·x − b‖∞ / ‖b‖∞ (or the absolute norm when b is
+// zero), a convergence check for tests and examples.
+func ResidualNorm(m *sparse.Matrix, x, b []float64) float64 {
+	ax := MatVec(m, x)
+	var rmax, bmax float64
+	for i := range b {
+		r := math.Abs(ax[i] - b[i])
+		if r > rmax {
+			rmax = r
+		}
+		if a := math.Abs(b[i]); a > bmax {
+			bmax = a
+		}
+	}
+	if bmax == 0 {
+		return rmax
+	}
+	return rmax / bmax
+}
+
+// FactorResidual returns max |(L·Lᵀ − A)[i][j]| over the structure of A,
+// used to validate factorizations in tests.
+func FactorResidual(m *sparse.Matrix, c *Cholesky) float64 {
+	// Compute (L Lᵀ)[i][j] for every stored position of A.
+	// For position (i, j): sum over k <= j of L[i][k]*L[j][k].
+	// Using column access of L: iterate columns k, and for each pair of
+	// entries (i, k), (j, k) accumulate into a map keyed by A's positions.
+	n := m.N
+	// Map from (i,j) to accumulated value, restricted to A's pattern.
+	acc := make(map[[2]int]float64, m.NNZ())
+	for j := 0; j < n; j++ {
+		for _, i := range m.Col(j) {
+			acc[[2]int{i, j}] = 0
+		}
+	}
+	for k := 0; k < n; k++ {
+		col := c.F.Col(k)
+		base := c.F.ColPtr[k]
+		for a := 0; a < len(col); a++ {
+			for b := a; b < len(col); b++ {
+				key := [2]int{col[b], col[a]}
+				if _, ok := acc[key]; ok {
+					acc[key] += c.Val[base+a] * c.Val[base+b]
+				}
+			}
+		}
+	}
+	var worst float64
+	for j := 0; j < n; j++ {
+		cj := m.Col(j)
+		vj := m.ColVal(j)
+		for k, i := range cj {
+			d := math.Abs(acc[[2]int{i, j}] - vj[k])
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

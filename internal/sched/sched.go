@@ -1,0 +1,262 @@
+// Package sched assigns the partitioned work of a sparse Cholesky
+// factorization to processors.
+//
+// Two schemes are implemented, matching the paper's comparison:
+//
+//   - BlockMap: the allocation heuristic of Section 3.4 over the unit
+//     blocks of core.Partition. Independent columns are wrap-mapped first;
+//     dependent single columns go to a predecessor's processor; triangle
+//     units prefer an unused predecessor processor (the set Pa) falling
+//     back to a global round-robin marker over Pg; the units of each
+//     rectangle below a triangle cycle through the triangle's processor
+//     set Pt ordered by increasing assigned work, re-sorted after every
+//     rectangle.
+//
+//   - WrapMap: the classical wrap (cyclic) column mapping — column j of
+//     the permuted matrix belongs to processor j mod P.
+//
+// Both produce a Schedule exposing the owner of every factor element, the
+// granularity at which the traffic simulator counts non-local accesses.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/symbolic"
+)
+
+// Schedule is a complete assignment of factorization work to P processors.
+type Schedule struct {
+	P int
+	// ElemProc maps every factor nonzero position to its owning processor.
+	ElemProc []int32
+	// UnitProc maps unit IDs to processors (block scheme only; nil for
+	// wrap mapping).
+	UnitProc []int32
+	// Work is the total computational work assigned to each processor
+	// under the paper's work model.
+	Work []int64
+}
+
+// TotalWork returns the summed work of all processors.
+func (s *Schedule) TotalWork() int64 {
+	var t int64
+	for _, w := range s.Work {
+		t += w
+	}
+	return t
+}
+
+// MaxWork returns the largest per-processor work.
+func (s *Schedule) MaxWork() int64 {
+	var m int64
+	for _, w := range s.Work {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Imbalance returns the paper's load imbalance factor
+// A = (Wmax - Wavg) * N / Wtot = Wmax*N/Wtot - 1, which is 0 for a
+// perfectly balanced assignment.
+func (s *Schedule) Imbalance() float64 {
+	tot := s.TotalWork()
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.MaxWork())*float64(s.P)/float64(tot) - 1
+}
+
+// Efficiency returns 1/(1+A), the paper's e = Wavg/Wmax: parallel
+// efficiency in the absence of dependency delays.
+func (s *Schedule) Efficiency() float64 {
+	mw := s.MaxWork()
+	if mw == 0 {
+		return 1
+	}
+	avg := float64(s.TotalWork()) / float64(s.P)
+	return avg / float64(mw)
+}
+
+// WrapMap assigns column j of the factor to processor j mod P and derives
+// element ownership and per-processor work.
+func WrapMap(f *symbolic.Factor, elemWork []int64, p int) *Schedule {
+	if p < 1 {
+		panic(fmt.Sprintf("sched: invalid processor count %d", p))
+	}
+	s := &Schedule{
+		P:        p,
+		ElemProc: make([]int32, f.NNZ()),
+		Work:     make([]int64, p),
+	}
+	for j := 0; j < f.N; j++ {
+		proc := int32(j % p)
+		for q := f.ColPtr[j]; q < f.ColPtr[j+1]; q++ {
+			s.ElemProc[q] = proc
+			s.Work[proc] += elemWork[q]
+		}
+	}
+	return s
+}
+
+// BlockMap runs the Section 3.4 allocator on a partition.
+func BlockMap(part *core.Partition, p int) *Schedule {
+	if p < 1 {
+		panic(fmt.Sprintf("sched: invalid processor count %d", p))
+	}
+	units := part.Units
+	unitProc := make([]int32, len(units))
+	for i := range unitProc {
+		unitProc[i] = -1
+	}
+	work := make([]int64, p)
+	assign := func(u int, proc int32) {
+		unitProc[u] = proc
+		work[proc] += units[u].Work
+	}
+
+	// Step 1: independent columns are allocated in wrap-around fashion.
+	next := 0
+	for ci := range part.Clusters {
+		cl := &part.Clusters[ci]
+		if cl.Single && len(units[cl.ColUnit].Preds) == 0 {
+			assign(cl.ColUnit, int32(next%p))
+			next++
+		}
+	}
+
+	// Step 2: scan the remaining clusters left to right.
+	marker := 0 // the Pg round-robin marker
+	inPa := make([]bool, p)
+	var paList []int32
+	for ci := range part.Clusters {
+		cl := &part.Clusters[ci]
+		if cl.Single {
+			u := cl.ColUnit
+			if unitProc[u] >= 0 {
+				continue // independent, already placed
+			}
+			// "The entire column is allocated to a processor, which is
+			// arbitrarily picked from the set of processors which worked
+			// on the column's predecessors." Deterministically: the first
+			// assigned predecessor.
+			proc := int32(-1)
+			for _, pr := range units[u].Preds {
+				if pp := unitProc[pr]; pp >= 0 {
+					proc = pp
+					break
+				}
+			}
+			if proc < 0 {
+				// No assigned predecessor (only possible when the engine
+				// saw a dependency whose source is later in scan order,
+				// which construction prevents; keep a safe fallback).
+				proc = int32(marker)
+				marker = (marker + 1) % p
+			}
+			assign(u, proc)
+			continue
+		}
+
+		// Triangle partition units, in allocation order. Pa is the set of
+		// processors already used inside this triangle.
+		for _, pr := range paList {
+			inPa[pr] = false
+		}
+		paList = paList[:0]
+		for _, u := range cl.TriAlloc {
+			proc := int32(-1)
+			for _, pr := range units[u].Preds {
+				pp := unitProc[pr]
+				if pp >= 0 && !inPa[pp] {
+					proc = pp
+					break
+				}
+			}
+			if proc < 0 {
+				// All predecessor processors already in Pa: take the
+				// currently available processor and advance the marker.
+				proc = int32(marker)
+				marker = (marker + 1) % p
+			}
+			assign(u, proc)
+			if !inPa[proc] {
+				inPa[proc] = true
+				paList = append(paList, proc)
+			}
+		}
+
+		// Rectangles below the triangle: restrict to Pt, the processors of
+		// the triangle units, cycling in order of increasing work and
+		// re-sorting after each rectangle.
+		pt := append([]int32(nil), paList...)
+		for ri := range cl.Rects {
+			r := &cl.Rects[ri]
+			sort.Slice(pt, func(a, b int) bool {
+				if work[pt[a]] != work[pt[b]] {
+					return work[pt[a]] < work[pt[b]]
+				}
+				return pt[a] < pt[b]
+			})
+			rr := 0
+			for _, row := range r.Units {
+				for _, u := range row {
+					assign(u, pt[rr%len(pt)])
+					rr++
+				}
+			}
+		}
+	}
+
+	// Derive element ownership.
+	s := &Schedule{
+		P:        p,
+		ElemProc: make([]int32, part.F.NNZ()),
+		UnitProc: unitProc,
+		Work:     work,
+	}
+	for q := range s.ElemProc {
+		s.ElemProc[q] = unitProc[part.ElemUnit[q]]
+	}
+	return s
+}
+
+// ColumnWorkOf is a convenience wrapper computing element work and the
+// derived schedule-independent totals for a factor.
+func ColumnWorkOf(f *symbolic.Factor) (elemWork []int64, total int64) {
+	ops := model.NewOps(f)
+	elemWork = model.ElementWork(ops)
+	return elemWork, model.TotalWork(elemWork)
+}
+
+// AccumulateElemWork sums an arbitrary per-element cost vector (e.g. the
+// triangular-solve work of model.SolveElementWork) over the schedule's
+// element ownership, returning per-processor totals.
+func (s *Schedule) AccumulateElemWork(elemWork []int64) []int64 {
+	out := make([]int64, s.P)
+	for q, pr := range s.ElemProc {
+		out[pr] += elemWork[q]
+	}
+	return out
+}
+
+// ImbalanceOf computes the paper's load imbalance factor A for an
+// arbitrary per-processor work vector.
+func ImbalanceOf(work []int64) float64 {
+	var tot, max int64
+	for _, w := range work {
+		tot += w
+		if w > max {
+			max = w
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(max)*float64(len(work))/float64(tot) - 1
+}

@@ -1,0 +1,187 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func loadLap(t testing.TB) *Problem {
+	t.Helper()
+	for _, tmName := range []string{"LAP30"} {
+		_ = tmName
+	}
+	ps, err := LoadSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if p.Meta.Name == "LAP30" {
+			return p
+		}
+	}
+	t.Fatal("LAP30 not in suite")
+	return nil
+}
+
+func TestTable1AllRows(t *testing.T) {
+	ps, err := LoadSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table1(ps)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.PaperN == 0 {
+			t.Errorf("%s: missing paper data", r.Name)
+		}
+		if r.N == 0 || r.FactorNNZ < r.NNZ {
+			t.Errorf("%s: implausible stats %+v", r.Name, r)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "LAP30") || !strings.Contains(out, "16697") {
+		t.Errorf("formatted table missing expected content:\n%s", out)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	lap := loadLap(t)
+	rows := Table2([]*Problem{lap})
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 (P sweep)", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's qualitative shape: g=25 communicates less than g=4.
+		if r.TotalG25 >= r.TotalG4 {
+			t.Errorf("P=%d: total g=25 %d not below g=4 %d", r.P, r.TotalG25, r.TotalG4)
+		}
+		if r.MeanG4 != r.TotalG4/int64(r.P) {
+			t.Errorf("mean inconsistent with total")
+		}
+	}
+	// Totals increase with P.
+	if !(rows[0].TotalG4 < rows[1].TotalG4 && rows[1].TotalG4 < rows[2].TotalG4) {
+		t.Errorf("traffic not increasing with P: %+v", rows)
+	}
+	_ = FormatTable2(rows)
+}
+
+func TestTable3Shape(t *testing.T) {
+	lap := loadLap(t)
+	rows := Table3([]*Problem{lap})
+	for _, r := range rows {
+		if r.AG4 < 0 || r.AG25 < 0 {
+			t.Errorf("negative imbalance: %+v", r)
+		}
+		if r.MeanWork != lap.Total/int64(r.P) {
+			t.Errorf("mean work wrong: %+v", r)
+		}
+	}
+	// Imbalance grows with P for both grains (paper's observation).
+	if rows[2].AG25 <= rows[0].AG25 {
+		t.Errorf("A(g25) not growing with P: %+v", rows)
+	}
+	_ = FormatTable3(rows)
+}
+
+func TestTable4Shape(t *testing.T) {
+	lap := loadLap(t)
+	rows := Table4(lap)
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 9 (3 widths x 3 P)", len(rows))
+	}
+	// Mean work is width-independent.
+	for _, r := range rows {
+		if r.MeanWork != lap.Total/int64(r.P) {
+			t.Errorf("mean work wrong: %+v", r)
+		}
+	}
+	_ = FormatTable4(rows)
+}
+
+func TestTable5Shape(t *testing.T) {
+	lap := loadLap(t)
+	rows := Table5([]*Problem{lap})
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (P = 1,4,16,32)", len(rows))
+	}
+	if rows[0].P != 1 || rows[0].Total != 0 || rows[0].A != 0 {
+		t.Errorf("P=1 row must be all zeros: %+v", rows[0])
+	}
+	// Wrap A stays small (paper: <= 0.35 across the suite at P<=32).
+	for _, r := range rows {
+		if r.A > 0.6 {
+			t.Errorf("wrap imbalance %g implausibly high at P=%d", r.A, r.P)
+		}
+	}
+	_ = FormatTable5(rows)
+}
+
+func TestBlockBeatsWrapHeadline(t *testing.T) {
+	// Cross-table check of the paper's abstract: block-based partitioning
+	// yields lower communication, wrap better balance.
+	lap := loadLap(t)
+	t2 := Table2([]*Problem{lap})
+	t3 := Table3([]*Problem{lap})
+	t5 := Table5([]*Problem{lap})
+	for i, np := range DefaultProcs {
+		var wrapRow *Table5Row
+		for k := range t5 {
+			if t5[k].P == np {
+				wrapRow = &t5[k]
+			}
+		}
+		if t2[i].TotalG25 >= wrapRow.Total {
+			t.Errorf("P=%d: block g=25 traffic %d not below wrap %d", np, t2[i].TotalG25, wrapRow.Total)
+		}
+		if t3[i].AG25 <= wrapRow.A {
+			t.Errorf("P=%d: block g=25 A %.3f not above wrap %.3f (trade-off)", np, t3[i].AG25, wrapRow.A)
+		}
+	}
+}
+
+func TestMakespanAndPartners(t *testing.T) {
+	lap := loadLap(t)
+	mk := Makespan([]*Problem{lap})
+	if len(mk) != 9 { // 3 procs x (2 grains + wrap)
+		t.Fatalf("%d makespan rows, want 9", len(mk))
+	}
+	for _, r := range mk {
+		if r.Efficiency > r.BoundEff+1e-9 {
+			t.Errorf("delay efficiency above bound: %+v", r)
+		}
+		if r.Makespan < r.CritPath {
+			t.Errorf("makespan below critical path: %+v", r)
+		}
+	}
+	_ = FormatMakespan(mk)
+
+	pr := Partners([]*Problem{lap})
+	for _, r := range pr {
+		if r.BlockPartners > r.WrapPartners {
+			t.Errorf("block partners %.1f above wrap %.1f at P=%d", r.BlockPartners, r.WrapPartners, r.P)
+		}
+	}
+	_ = FormatPartners(pr)
+}
+
+func TestGrainSweepMonotoneTraffic(t *testing.T) {
+	lap := loadLap(t)
+	rows := GrainSweep(lap, 16, []int{2, 4, 8, 16, 25, 50, 100})
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Unit count decreases with grain.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Units > rows[i-1].Units {
+			t.Errorf("units grew with grain: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+	// Traffic at the largest grain is below the smallest.
+	if rows[len(rows)-1].Total >= rows[0].Total {
+		t.Errorf("traffic did not fall across the sweep: %+v", rows)
+	}
+	_ = FormatGrainSweep("LAP30", 16, rows)
+}

@@ -1,0 +1,230 @@
+package traffic
+
+import (
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// MessageStats is the outcome of the consolidation step — the fifth step
+// of the paper's pipeline: "Consolidate the non-local memory access
+// information for each processor so as to minimize communication
+// overhead." Element fetches with the same (owning group, destination
+// processor) pair travel together as one message, so the message count —
+// the latency-bound component of communication cost — can be far smaller
+// than the element volume; how much smaller is precisely the
+// consolidation benefit the block partitioning buys.
+type MessageStats struct {
+	P int
+	// Messages is the total number of consolidated messages (distinct
+	// (source group, destination processor) pairs with at least one
+	// fetched element).
+	Messages int64
+	// Elements is the total element volume (equals Result.Total).
+	Elements int64
+	// PerProc counts messages received by each processor.
+	PerProc []int64
+	// MeanSize is the average number of elements per message; MaxSize the
+	// largest single message.
+	MeanSize float64
+	MaxSize  int64
+}
+
+// consolidate runs the element-fetch simulation and groups distinct
+// fetches into messages keyed by (groupOf(element), destination).
+func consolidate(ops *model.Ops, s *sched.Schedule, groupOf func(elem int32) int32) *MessageStats {
+	nnz := ops.F.NNZ()
+	if len(s.ElemProc) != nnz {
+		panic("traffic: schedule covers a different factor")
+	}
+	type key struct {
+		group int32
+		proc  int32
+	}
+	sizes := make(map[key]int64)
+	wide := s.P > 64
+	var fetched []uint64
+	var fetchedWide map[int64]struct{}
+	if wide {
+		fetchedWide = make(map[int64]struct{})
+	} else {
+		fetched = make([]uint64, nnz)
+	}
+	access := func(elem int32, proc int32) {
+		if s.ElemProc[elem] == proc {
+			return
+		}
+		if wide {
+			k := int64(elem)<<16 | int64(proc)
+			if _, ok := fetchedWide[k]; ok {
+				return
+			}
+			fetchedWide[k] = struct{}{}
+		} else {
+			bit := uint64(1) << uint(proc)
+			if fetched[elem]&bit != 0 {
+				return
+			}
+			fetched[elem] |= bit
+		}
+		sizes[key{groupOf(elem), proc}]++
+	}
+	ops.ForEachUpdate(func(u model.Update) {
+		proc := s.ElemProc[u.Tgt]
+		access(u.SrcI, proc)
+		access(u.SrcJ, proc)
+	})
+	ops.ForEachScale(func(tgt, diag int32) {
+		access(diag, s.ElemProc[tgt])
+	})
+	st := &MessageStats{P: s.P, PerProc: make([]int64, s.P)}
+	for k, sz := range sizes {
+		st.Messages++
+		st.Elements += sz
+		st.PerProc[k.proc]++
+		if sz > st.MaxSize {
+			st.MaxSize = sz
+		}
+	}
+	if st.Messages > 0 {
+		st.MeanSize = float64(st.Elements) / float64(st.Messages)
+	}
+	return st
+}
+
+// Consolidate groups the non-local fetches of a block-partitioned
+// schedule into messages, one per (source unit block, destination
+// processor) pair.
+func Consolidate(part *core.Partition, ops *model.Ops, s *sched.Schedule) *MessageStats {
+	if len(part.ElemUnit) != ops.F.NNZ() {
+		panic("traffic: partition built over a different factor")
+	}
+	return consolidate(ops, s, func(elem int32) int32 { return part.ElemUnit[elem] })
+}
+
+// ConsolidateColumns groups the fetches of a column-mapped (wrap)
+// schedule into messages, one per (source column, destination processor)
+// pair — the natural consolidation unit when whole columns live on one
+// processor.
+func ConsolidateColumns(ops *model.Ops, s *sched.Schedule) *MessageStats {
+	f := ops.F
+	colOf := make([]int32, f.NNZ())
+	for j := 0; j < f.N; j++ {
+		for q := f.ColPtr[j]; q < f.ColPtr[j+1]; q++ {
+			colOf[q] = int32(j)
+		}
+	}
+	return consolidate(ops, s, func(elem int32) int32 { return colOf[elem] })
+}
+
+// AlphaBetaCost evaluates the classical linear communication model for
+// the busiest processor: alpha per received message plus beta per
+// received element, alpha and beta in work units.
+func AlphaBetaCost(st *MessageStats, r *Result, alpha, beta float64) float64 {
+	var maxMsgs int64
+	for _, m := range st.PerProc {
+		if m > maxMsgs {
+			maxMsgs = m
+		}
+	}
+	return alpha*float64(maxMsgs) + beta*float64(r.MaxPerProc())
+}
+
+// FetchVolumes attributes every distinct non-local element fetch to the
+// unit block whose update first requires it (fetch-on-first-use, matching
+// the caching model of Simulate), returning the per-unit fetch counts.
+// Feeding these into the makespan simulation with a per-element
+// communication cost unifies the paper's two separate metrics — traffic
+// and load balance — into a single time estimate (EXPERIMENTS.md Ext-L).
+func FetchVolumes(part *core.Partition, ops *model.Ops, s *sched.Schedule) []int64 {
+	nnz := ops.F.NNZ()
+	if len(s.ElemProc) != nnz || len(part.ElemUnit) != nnz {
+		panic("traffic: schedule/partition/factor mismatch")
+	}
+	vol := make([]int64, len(part.Units))
+	wide := s.P > 64
+	var fetched []uint64
+	var fetchedWide map[int64]struct{}
+	if wide {
+		fetchedWide = make(map[int64]struct{})
+	} else {
+		fetched = make([]uint64, nnz)
+	}
+	access := func(elem int32, tgt int32) {
+		proc := s.ElemProc[tgt]
+		if s.ElemProc[elem] == proc {
+			return
+		}
+		if wide {
+			k := int64(elem)<<16 | int64(proc)
+			if _, ok := fetchedWide[k]; ok {
+				return
+			}
+			fetchedWide[k] = struct{}{}
+		} else {
+			bit := uint64(1) << uint(proc)
+			if fetched[elem]&bit != 0 {
+				return
+			}
+			fetched[elem] |= bit
+		}
+		vol[part.ElemUnit[tgt]]++
+	}
+	ops.ForEachUpdate(func(u model.Update) {
+		access(u.SrcI, u.Tgt)
+		access(u.SrcJ, u.Tgt)
+	})
+	ops.ForEachScale(func(tgt, diag int32) {
+		access(diag, tgt)
+	})
+	return vol
+}
+
+// FetchVolumesColumns is FetchVolumes for column-mapped schedules,
+// returning per-column fetch counts.
+func FetchVolumesColumns(ops *model.Ops, s *sched.Schedule) []int64 {
+	f := ops.F
+	colOf := make([]int32, f.NNZ())
+	for j := 0; j < f.N; j++ {
+		for q := f.ColPtr[j]; q < f.ColPtr[j+1]; q++ {
+			colOf[q] = int32(j)
+		}
+	}
+	vol := make([]int64, f.N)
+	wide := s.P > 64
+	var fetched []uint64
+	var fetchedWide map[int64]struct{}
+	if wide {
+		fetchedWide = make(map[int64]struct{})
+	} else {
+		fetched = make([]uint64, f.NNZ())
+	}
+	access := func(elem int32, tgt int32) {
+		proc := s.ElemProc[tgt]
+		if s.ElemProc[elem] == proc {
+			return
+		}
+		if wide {
+			k := int64(elem)<<16 | int64(proc)
+			if _, ok := fetchedWide[k]; ok {
+				return
+			}
+			fetchedWide[k] = struct{}{}
+		} else {
+			bit := uint64(1) << uint(proc)
+			if fetched[elem]&bit != 0 {
+				return
+			}
+			fetched[elem] |= bit
+		}
+		vol[colOf[tgt]]++
+	}
+	ops.ForEachUpdate(func(u model.Update) {
+		access(u.SrcI, u.Tgt)
+		access(u.SrcJ, u.Tgt)
+	})
+	ops.ForEachScale(func(tgt, diag int32) {
+		access(diag, tgt)
+	})
+	return vol
+}

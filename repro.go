@@ -1,0 +1,365 @@
+// Package repro is a Go reproduction of Venugopal & Naik, "Effects of
+// Partitioning and Scheduling Sparse Matrix Factorization on Communication
+// and Load Balance" (Supercomputing 1991; ICASE Report 91-80).
+//
+// It provides a block-based, automatic partitioner and scheduler for
+// sparse Cholesky factorization on (simulated) distributed-memory
+// machines, the classical wrap-mapped column baseline, and the simulation
+// machinery that measures what the paper measures: data traffic and load
+// imbalance. The full pipeline is
+//
+//	matrix -> MMD ordering -> symbolic factorization -> clusters
+//	       -> unit blocks -> dependencies -> schedule -> simulate
+//
+// A minimal use:
+//
+//	sys, _ := repro.Analyze(repro.LAP30())
+//	part := sys.Partition(repro.PartitionOptions{Grain: 25, MinClusterWidth: 4})
+//	block := sys.BlockSchedule(part, 16)
+//	wrap := sys.WrapSchedule(16)
+//	fmt.Println(sys.Traffic(block).Total, "vs", sys.Traffic(wrap).Total)
+//
+// The subsystems live in internal packages (sparse storage, generators,
+// Harwell-Boeing I/O, MMD ordering, symbolic and numeric factorization,
+// the partitioner core, schedulers, and the traffic/makespan simulators);
+// this package re-exports the stable surface needed to reproduce and
+// extend the paper's experiments.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/hbio"
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/order"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+	"repro/internal/traffic"
+)
+
+// Matrix is a sparse symmetric matrix stored as its lower triangle.
+type Matrix = sparse.Matrix
+
+// Factor is the symbolic structure of a Cholesky factor.
+type Factor = symbolic.Factor
+
+// Partition is the block-based partitioner output: clusters, unit blocks
+// and their dependency graph.
+type Partition = core.Partition
+
+// PartitionOptions controls the partitioner (grain size and minimum
+// cluster width, the two knobs of the paper's experiments).
+type PartitionOptions = core.Options
+
+// Unit is one schedulable unit block (column, triangle or rectangle).
+type Unit = core.Unit
+
+// Schedule is an assignment of factorization work to processors.
+type Schedule = sched.Schedule
+
+// TrafficResult is the outcome of the data-traffic simulation.
+type TrafficResult = traffic.Result
+
+// MakespanResult is the outcome of the dependency-delay simulation.
+type MakespanResult = exec.SimResult
+
+// Task is one node of a generic scheduled task DAG. The paper's Section 5
+// notes the methodology "can be generalized to computations that can be
+// represented as directed acyclic graphs"; the simulation machinery is
+// exposed for such use (see examples and SimulateDAG).
+type Task = exec.Task
+
+// Cholesky is a numeric Cholesky factor.
+type Cholesky = numeric.Cholesky
+
+// LDL is a square-root-free LDLᵀ factorization (usable for symmetric
+// indefinite systems; exposes inertia).
+type LDL = numeric.LDL
+
+// HBHeader identifies a Harwell-Boeing file.
+type HBHeader = hbio.Header
+
+// TestMatrix describes one of the paper's test problems.
+type TestMatrix = gen.TestMatrix
+
+// System bundles the analysis products of one matrix: the fill-reducing
+// ordering, the permuted matrix and the symbolic factor.
+type System struct {
+	// A is the original matrix, Order the fill-reducing permutation
+	// (Order[k] = original index of the k-th eliminated variable), and
+	// Permuted the reordered matrix actually factorized.
+	A        *Matrix
+	Order    []int
+	Permuted *Matrix
+	F        *Factor
+
+	ops      *model.Ops
+	elemWork []int64
+	total    int64
+}
+
+// Analyze orders the matrix with multiple minimum degree and computes the
+// symbolic factorization, the inputs of the partitioning pipeline.
+func Analyze(a *Matrix) (*System, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("repro: invalid matrix: %w", err)
+	}
+	return AnalyzeOrdered(a, order.MMD(a))
+}
+
+// AnalyzeOrdered is Analyze with a caller-supplied elimination order
+// (order[k] = original index of the k-th variable). Use MMDOrder,
+// RCMOrder, NDOrder or PostOrderPerm to produce one.
+func AnalyzeOrdered(a *Matrix, perm []int) (*System, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("repro: invalid matrix: %w", err)
+	}
+	if !order.IsPermutation(perm) || len(perm) != a.N {
+		return nil, fmt.Errorf("repro: ordering is not a permutation of 0..%d", a.N-1)
+	}
+	pm, err := a.Permute(perm)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	f := symbolic.Analyze(pm)
+	ops := model.NewOps(f)
+	ew := model.ElementWork(ops)
+	return &System{
+		A: a, Order: perm, Permuted: pm, F: f,
+		ops: ops, elemWork: ew, total: model.TotalWork(ew),
+	}, nil
+}
+
+// MMDOrder computes the multiple-minimum-degree ordering (the paper's
+// choice for every experiment).
+func MMDOrder(a *Matrix) []int { return order.MMD(a) }
+
+// RCMOrder computes the reverse Cuthill-McKee (bandwidth-reducing)
+// ordering.
+func RCMOrder(a *Matrix) []int { return order.RCM(a) }
+
+// NDOrder computes a nested-dissection ordering (leaf pieces of at most
+// leafSize ordered by minimum degree; leafSize <= 0 selects the default).
+func NDOrder(a *Matrix, leafSize int) []int { return order.NestedDissection(a, leafSize) }
+
+// PostOrderPerm composes an ordering with a postordering of its
+// elimination tree: identical fill, contiguous subtrees (which is what
+// cluster relaxation needs to find merges).
+func PostOrderPerm(a *Matrix, perm []int) ([]int, error) {
+	return symbolic.PostOrderPerm(a, perm)
+}
+
+// TotalWork returns the total factorization work under the paper's model
+// (2 units per pair update, 1 unit per diagonal update).
+func (s *System) TotalWork() int64 { return s.total }
+
+// Partition runs the block-based partitioner of Section 3.
+func (s *System) Partition(opts PartitionOptions) *Partition {
+	return core.NewPartition(s.F, opts)
+}
+
+// BlockSchedule allocates the partition's unit blocks to p processors with
+// the Section 3.4 heuristic.
+func (s *System) BlockSchedule(part *Partition, p int) *Schedule {
+	return sched.BlockMap(part, p)
+}
+
+// BlockScheduleGreedy allocates with the work-aware variant of the
+// Section 3.4 heuristic (the "more sophisticated strategy" the paper's
+// Section 5 anticipates): all fallback decisions pick the least-loaded
+// processor. It trades a small amount of extra communication for a much
+// better load balance; see EXPERIMENTS.md Ext-E.
+func (s *System) BlockScheduleGreedy(part *Partition, p int) *Schedule {
+	return sched.BlockMapGreedy(part, p)
+}
+
+// WrapSchedule assigns column j to processor j mod p (the paper's
+// baseline).
+func (s *System) WrapSchedule(p int) *Schedule {
+	return sched.WrapMap(s.F, s.elemWork, p)
+}
+
+// Traffic simulates the data traffic of a schedule under the paper's
+// model: one unit per distinct non-local element fetched per processor.
+// For block schedules over a relaxed partition use TrafficPart.
+func (s *System) Traffic(sc *Schedule) *TrafficResult {
+	return traffic.Simulate(s.ops, sc)
+}
+
+// TrafficPart simulates traffic for a block schedule over the given
+// partition, honoring relaxed (zero-padded) factors whose structure is a
+// superset of the analysis factor.
+func (s *System) TrafficPart(part *Partition, sc *Schedule) *TrafficResult {
+	if part.F == s.F {
+		return traffic.Simulate(s.ops, sc)
+	}
+	return traffic.Simulate(model.NewOps(part.F), sc)
+}
+
+// BlockMakespan simulates execution with dependency delays for a
+// block-mapped partition, refining the paper's 1/(1+A) efficiency bound.
+func (s *System) BlockMakespan(part *Partition, sc *Schedule) MakespanResult {
+	tasks := exec.BlockTasks(part, sc)
+	return exec.SimulateMakespan(tasks, sc.P)
+}
+
+// WrapMakespan simulates execution with dependency delays for the wrap
+// mapping (one task per column).
+func (s *System) WrapMakespan(p int) MakespanResult {
+	tasks := exec.ColumnTasks(s.F, s.ops, s.elemWork, p)
+	return exec.SimulateMakespan(tasks, p)
+}
+
+// BlockMakespanDynamic is BlockMakespan with a dynamic ready queue
+// (critical-path priority) instead of static scan order on each
+// processor.
+func (s *System) BlockMakespanDynamic(part *Partition, sc *Schedule) MakespanResult {
+	tasks := exec.BlockTasks(part, sc)
+	return exec.SimulateMakespanDynamic(tasks, sc.P)
+}
+
+// SimulateDAG simulates execution of an arbitrary task DAG on p
+// processors with static per-processor order (tasks must be topologically
+// ordered by ID and carry their processor assignment).
+func SimulateDAG(tasks []Task, p int) MakespanResult {
+	return exec.SimulateMakespan(tasks, p)
+}
+
+// SimulateDAGDynamic is SimulateDAG with a critical-path-priority ready
+// queue on each processor.
+func SimulateDAGDynamic(tasks []Task, p int) MakespanResult {
+	return exec.SimulateMakespanDynamic(tasks, p)
+}
+
+// CriticalPath returns the longest work-weighted path of a task DAG, the
+// processor-independent lower bound on any schedule's makespan.
+func CriticalPath(tasks []Task) int64 { return exec.CriticalPath(tasks) }
+
+// Factorize computes the numeric Cholesky factor of the permuted matrix.
+func (s *System) Factorize() (*Cholesky, error) {
+	return numeric.Factorize(s.Permuted, s.F)
+}
+
+// FactorizeLDL computes the square-root-free LDLᵀ factorization of the
+// permuted matrix. It succeeds for symmetric indefinite matrices as long
+// as no pivot vanishes, and its element-level dependency structure is
+// identical to Cholesky's, so every partition and schedule applies
+// unchanged (the paper's Section 5 adaptability claim).
+func (s *System) FactorizeLDL() (*LDL, error) {
+	return numeric.FactorizeLDL(s.Permuted, s.F)
+}
+
+// ParallelFactorizeLDL is ParallelFactorize with the LDLᵀ kernel.
+func (s *System) ParallelFactorizeLDL(part *Partition, sc *Schedule) ([]float64, error) {
+	nf, err := exec.ParallelFactorizeLDL(s.Permuted, part, sc)
+	if err != nil {
+		return nil, err
+	}
+	return nf.Val, nil
+}
+
+// ParallelFactorize executes the numeric factorization with one worker
+// goroutine per simulated processor, synchronizing on the block dependency
+// graph, and returns the factor values (aligned with F's structure).
+func (s *System) ParallelFactorize(part *Partition, sc *Schedule) ([]float64, error) {
+	nf, err := exec.ParallelFactorize(s.Permuted, part, sc)
+	if err != nil {
+		return nil, err
+	}
+	return nf.Val, nil
+}
+
+// SolveParallel solves A·x = b with every numeric phase executed by
+// worker goroutines over the given partition and schedule: block-parallel
+// Cholesky factorization followed by parallel forward and backward
+// triangular sweeps (the complete four-step pipeline of the paper's
+// Section 2, distributed). x is returned in the original variable order.
+func (s *System) SolveParallel(part *Partition, sc *Schedule, b []float64) ([]float64, error) {
+	if len(b) != s.A.N {
+		return nil, fmt.Errorf("repro: rhs length %d, want %d", len(b), s.A.N)
+	}
+	nf, err := exec.ParallelFactorize(s.Permuted, part, sc)
+	if err != nil {
+		return nil, err
+	}
+	chol := &numeric.Cholesky{F: nf.F, Val: nf.Val}
+	pb := make([]float64, len(b))
+	for k, old := range s.Order {
+		pb[k] = b[old]
+	}
+	px, err := exec.ParallelSolve(chol, sc, pb)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	for k, old := range s.Order {
+		x[old] = px[k]
+	}
+	return x, nil
+}
+
+// Solve solves A·x = b for the original (unpermuted) system, running the
+// whole direct-method pipeline of Section 2.
+func (s *System) Solve(b []float64) ([]float64, error) {
+	if len(b) != s.A.N {
+		return nil, fmt.Errorf("repro: rhs length %d, want %d", len(b), s.A.N)
+	}
+	chol, err := s.Factorize()
+	if err != nil {
+		return nil, err
+	}
+	pb := make([]float64, len(b))
+	for k, old := range s.Order {
+		pb[k] = b[old]
+	}
+	px := chol.Solve(pb)
+	x := make([]float64, len(b))
+	for k, old := range s.Order {
+		x[old] = px[k]
+	}
+	return x, nil
+}
+
+// ResidualNorm returns ‖A·x − b‖∞ / ‖b‖∞ for the original system.
+func (s *System) ResidualNorm(x, b []float64) float64 {
+	return numeric.ResidualNorm(s.A, x, b)
+}
+
+// ----------------------------------------------------------- generators
+
+// LAP30 builds the paper's LAP30 problem (exact reproduction: the 9-point
+// Laplacian on a 30x30 grid, 900 equations, 4322 lower nonzeros).
+func LAP30() *Matrix { return gen.Lap30() }
+
+// TestMatrices returns the five test problems of the paper's Table 1.
+func TestMatrices() []TestMatrix { return gen.Suite() }
+
+// BuildMatrix builds a suite matrix by name (case-insensitive), e.g.
+// "LAP30" or "BUS1138".
+func BuildMatrix(name string) (*Matrix, TestMatrix, error) { return gen.ByName(name) }
+
+// Grid5 and Grid9 build 5-point and 9-point Laplacian grid problems.
+func Grid5(rows, cols int) *Matrix { return gen.Grid5(rows, cols) }
+
+// Grid9 builds the 9-point Laplacian on a rows x cols grid.
+func Grid9(rows, cols int) *Matrix { return gen.Grid9(rows, cols) }
+
+// FEGrid5 builds the 5-point finite-element grid of the paper's Figure 2
+// (m = 5 gives the 41-unknown example).
+func FEGrid5(m int) *Matrix { return gen.FEGrid5(m) }
+
+// ----------------------------------------------------------- HB format
+
+// ReadHB parses a Harwell-Boeing file (RSA or PSA).
+func ReadHB(r io.Reader) (*Matrix, HBHeader, error) { return hbio.Read(r) }
+
+// WriteHB writes a matrix in Harwell-Boeing format.
+func WriteHB(w io.Writer, m *Matrix, title, key string) error {
+	return hbio.Write(w, m, title, key)
+}

@@ -1,0 +1,275 @@
+package repro_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro"
+)
+
+func TestPipelineEndToEnd(t *testing.T) {
+	sys, err := repro.Analyze(repro.LAP30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.F.NNZ() < sys.A.NNZ() {
+		t.Fatal("factor smaller than matrix")
+	}
+	part := sys.Partition(repro.PartitionOptions{Grain: 25, MinClusterWidth: 4})
+	block := sys.BlockSchedule(part, 16)
+	wrap := sys.WrapSchedule(16)
+	bt, wt := sys.Traffic(block), sys.Traffic(wrap)
+	if bt.Total >= wt.Total {
+		t.Errorf("block traffic %d not below wrap %d", bt.Total, wt.Total)
+	}
+	if block.Imbalance() <= wrap.Imbalance() {
+		t.Errorf("block imbalance %.3f not above wrap %.3f (the paper's trade-off)",
+			block.Imbalance(), wrap.Imbalance())
+	}
+}
+
+func TestSolveOriginalSystem(t *testing.T) {
+	a := repro.Grid9(12, 12)
+	sys, err := repro.Analyze(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = float64((i*7)%13) - 6
+	}
+	x, err := sys.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sys.ResidualNorm(x, b); r > 1e-10 {
+		t.Errorf("residual %g", r)
+	}
+}
+
+func TestSolveRejectsBadRHS(t *testing.T) {
+	sys, err := repro.Analyze(repro.Grid5(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Solve(make([]float64, 5)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	sys, err := repro.Analyze(repro.Grid9(10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := sys.Partition(repro.PartitionOptions{Grain: 4, MinClusterWidth: 4})
+	sc := sys.BlockSchedule(part, 6)
+	pv, err := sys.ParallelFactorize(part, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chol, err := sys.Factorize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range pv {
+		if math.Abs(pv[k]-chol.Val[k]) > 1e-9 {
+			t.Fatalf("value %d differs: %g vs %g", k, pv[k], chol.Val[k])
+		}
+	}
+}
+
+func TestMakespanAPIs(t *testing.T) {
+	sys, err := repro.Analyze(repro.LAP30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := sys.Partition(repro.PartitionOptions{})
+	sc := sys.BlockSchedule(part, 8)
+	bm := sys.BlockMakespan(part, sc)
+	wm := sys.WrapMakespan(8)
+	if bm.TotalWork != wm.TotalWork || bm.TotalWork != sys.TotalWork() {
+		t.Errorf("work totals disagree: %d %d %d", bm.TotalWork, wm.TotalWork, sys.TotalWork())
+	}
+	if bm.Makespan <= 0 || wm.Makespan <= 0 {
+		t.Error("nonpositive makespan")
+	}
+}
+
+func TestHBRoundTripViaPublicAPI(t *testing.T) {
+	m, tm, err := repro.BuildMatrix("dwt512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repro.WriteHB(&buf, m, tm.Description, tm.Name); err != nil {
+		t.Fatal(err)
+	}
+	got, hdr, err := repro.ReadHB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.NRow != m.N || got.NNZ() != m.NNZ() {
+		t.Errorf("round trip lost data: %+v", hdr)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	bad := &repro.Matrix{N: 2, ColPtr: []int{0, 1}, RowInd: []int{0}}
+	if _, err := repro.Analyze(bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestFigure2MatrixSize(t *testing.T) {
+	if m := repro.FEGrid5(5); m.N != 41 {
+		t.Errorf("FEGrid5(5) has %d unknowns, want 41 (Figure 2)", m.N)
+	}
+}
+
+func TestAnalyzeOrderedVariants(t *testing.T) {
+	a := repro.Grid9(10, 10)
+	for _, perm := range [][]int{
+		repro.MMDOrder(a), repro.RCMOrder(a), repro.NDOrder(a, 16),
+	} {
+		sys, err := repro.AnalyzeOrdered(a, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, a.N)
+		b[3] = 1
+		x, err := sys.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := sys.ResidualNorm(x, b); r > 1e-9 {
+			t.Errorf("residual %g", r)
+		}
+	}
+	if _, err := repro.AnalyzeOrdered(a, []int{0, 1}); err == nil {
+		t.Fatal("expected permutation error")
+	}
+}
+
+func TestPostOrderPermAPI(t *testing.T) {
+	a := repro.LAP30()
+	perm, err := repro.PostOrderPerm(a, repro.MMDOrder(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys1, _ := repro.Analyze(a)
+	sys2, err := repro.AnalyzeOrdered(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys1.F.NNZ() != sys2.F.NNZ() {
+		t.Errorf("postorder changed fill: %d vs %d", sys1.F.NNZ(), sys2.F.NNZ())
+	}
+}
+
+func TestGreedyScheduleAPI(t *testing.T) {
+	sys, err := repro.Analyze(repro.LAP30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := sys.Partition(repro.PartitionOptions{Grain: 25})
+	s34 := sys.BlockSchedule(part, 16)
+	sgr := sys.BlockScheduleGreedy(part, 16)
+	if sgr.Imbalance() > s34.Imbalance() {
+		t.Errorf("greedy A %.3f above §3.4 A %.3f on LAP30", sgr.Imbalance(), s34.Imbalance())
+	}
+	dyn := sys.BlockMakespanDynamic(part, s34)
+	sta := sys.BlockMakespan(part, s34)
+	if dyn.Makespan > sta.Makespan {
+		t.Errorf("dynamic makespan %d above static %d", dyn.Makespan, sta.Makespan)
+	}
+}
+
+func TestRelaxedPartitionAPI(t *testing.T) {
+	a := repro.LAP30()
+	perm, err := repro.PostOrderPerm(a, repro.MMDOrder(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := repro.AnalyzeOrdered(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := sys.Partition(repro.PartitionOptions{Grain: 25, RelaxZeros: 0.1})
+	if part.Relax.Merges == 0 {
+		t.Error("relaxation produced no merges on postordered LAP30")
+	}
+	sc := sys.BlockSchedule(part, 16)
+	tr := sys.TrafficPart(part, sc)
+	if tr.Total <= 0 {
+		t.Error("no traffic measured on relaxed partition")
+	}
+}
+
+func TestSolveParallelEndToEnd(t *testing.T) {
+	a := repro.Grid9(14, 14)
+	sys, err := repro.Analyze(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := sys.Partition(repro.PartitionOptions{Grain: 16, MinClusterWidth: 4})
+	sc := sys.BlockSchedule(part, 6)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = float64(i%11) - 5
+	}
+	x, err := sys.SolveParallel(part, sc, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sys.ResidualNorm(x, b); r > 1e-9 {
+		t.Errorf("parallel solve residual %g", r)
+	}
+	// Agreement with the sequential pipeline.
+	want, err := sys.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+			t.Fatalf("component %d: parallel %g vs sequential %g", i, x[i], want[i])
+		}
+	}
+	if _, err := sys.SolveParallel(part, sc, make([]float64, 3)); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+}
+
+func TestSimulateDAGAPI(t *testing.T) {
+	tasks := []repro.Task{
+		{ID: 0, Proc: 0, Work: 4},
+		{ID: 1, Proc: 1, Work: 4},
+		{ID: 2, Proc: 0, Work: 4, Preds: []int32{0, 1}},
+	}
+	if cp := repro.CriticalPath(tasks); cp != 8 {
+		t.Fatalf("critical path %d, want 8", cp)
+	}
+	st := repro.SimulateDAG(tasks, 2)
+	dy := repro.SimulateDAGDynamic(tasks, 2)
+	if st.Makespan != 8 || dy.Makespan != 8 {
+		t.Fatalf("makespans %d/%d, want 8", st.Makespan, dy.Makespan)
+	}
+	if st.TotalWork != 12 {
+		t.Fatalf("total work %d", st.TotalWork)
+	}
+}
+
+func TestTrafficPartConsistentWhenUnrelaxed(t *testing.T) {
+	sys, err := repro.Analyze(repro.LAP30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := sys.Partition(repro.PartitionOptions{Grain: 25})
+	sc := sys.BlockSchedule(part, 16)
+	a := sys.Traffic(sc)
+	b := sys.TrafficPart(part, sc)
+	if a.Total != b.Total {
+		t.Fatalf("Traffic %d != TrafficPart %d on unrelaxed partition", a.Total, b.Total)
+	}
+}
