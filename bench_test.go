@@ -199,6 +199,39 @@ func BenchmarkExtGrainSweep(b *testing.B) {
 	b.ReportMetric(float64(rows[len(rows)-1].Total), "g100-traffic")
 }
 
+// BenchmarkStrategyMap measures every registered mapping strategy's Map
+// on LAP30 at P=16 (partitioning is cached across iterations, so the
+// block-based entries time allocation, not partitioning). This seeds the
+// perf trajectory of the strategy subsystem: each sub-benchmark also
+// reports the traffic and imbalance the strategy achieves.
+func BenchmarkStrategyMap(b *testing.B) {
+	sys, err := repro.Analyze(repro.LAP30())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := repro.StrategyOptions{
+		Part: repro.PartitionOptions{Grain: 25, MinClusterWidth: 4},
+	}
+	// Warm the partition cache so block-based strategies time Map alone.
+	if _, err := sys.MapStrategy("block", 16, opts); err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range repro.Strategies() {
+		b.Run(name, func(b *testing.B) {
+			var sc *repro.Schedule
+			for i := 0; i < b.N; i++ {
+				var err error
+				sc, err = sys.MapStrategy(name, 16, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sys.StrategyTraffic(opts, sc).Total), "traffic")
+			b.ReportMetric(sc.Imbalance(), "imbalance-A")
+		})
+	}
+}
+
 // BenchmarkFullPipeline times the whole paper pipeline on LAP30:
 // generate, order, analyze, partition, schedule, simulate.
 func BenchmarkFullPipeline(b *testing.B) {

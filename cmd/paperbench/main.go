@@ -20,7 +20,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 	table := flag.String("table", "all",
-		"which table to regenerate: 1..5, makespan, partners, grain, relax, alloc, order, solve, dynamic, crossover, messages, commspan, or all")
+		"which table to regenerate: 1..5, makespan, partners, grain, relax, alloc, order, solve, dynamic, crossover, messages, commspan, strategy, or all")
 	flag.Parse()
 
 	ps, err := tables.LoadSuite()
@@ -104,6 +104,14 @@ func main() {
 	if show("commspan") {
 		rows := tables.CommMakespan(lap, 16, []float64{0, 1, 2, 5, 10, 20})
 		fmt.Println(tables.FormatCommMakespan("LAP30", 16, rows))
+		printed = true
+	}
+	if show("strategy") {
+		rows, err := tables.StrategyCompare(ps, tables.DefaultProcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatStrategyCompare(rows))
 		printed = true
 	}
 	if show("crossover") {

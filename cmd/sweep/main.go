@@ -1,14 +1,16 @@
 // Command sweep emits CSV data series for plotting: processor sweeps,
-// grain sweeps and width sweeps over any of the test matrices, with one
-// row per configuration. It is the data generator behind the trade-off
-// curves discussed in EXPERIMENTS.md.
+// grain sweeps, width sweeps and cross-strategy sweeps over any of the
+// test matrices, with one row per configuration. It is the data generator
+// behind the trade-off curves discussed in EXPERIMENTS.md.
 //
 // Usage:
 //
-//	sweep -kind procs  -matrix LAP30 > procs.csv
-//	sweep -kind grain  -matrix LAP30 -procs 16 > grain.csv
-//	sweep -kind width  -matrix LAP30 -procs 16 > width.csv
-//	sweep -kind all    -out data/           # every series for every matrix
+//	sweep -kind procs    -matrix LAP30 > procs.csv
+//	sweep -kind grain    -matrix LAP30 -procs 16 > grain.csv
+//	sweep -kind width    -matrix LAP30 -procs 16 > width.csv
+//	sweep -kind strategy -matrix LAP30 -procs 16 > strategy.csv
+//	sweep -kind strategy -strategy contiguous -matrix LAP30 -procs 16
+//	sweep -kind all      -out data/         # every series for every matrix
 package main
 
 import (
@@ -35,10 +37,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		kind   = flag.String("kind", "procs", "series: procs, grain, width, or all")
+		kind   = flag.String("kind", "procs", "series: procs, grain, width, strategy, or all")
 		matrix = flag.String("matrix", "LAP30", "test matrix name")
-		procs  = flag.Int("procs", 16, "processors (grain and width sweeps)")
-		grain  = flag.Int("grain", 25, "grain size (procs and width sweeps)")
+		procs  = flag.Int("procs", 16, "processors (grain, width and strategy sweeps)")
+		grain  = flag.Int("grain", 25, "grain size (procs, width and strategy sweeps)")
+		strat  = flag.String("strategy", "", "restrict the strategy sweep to one registered strategy (default all: "+strings.Join(repro.Strategies(), ", ")+")")
 		out    = flag.String("out", "", "output directory for -kind all (default stdout for single series)")
 	)
 	flag.Parse()
@@ -51,13 +54,13 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, tm := range repro.TestMatrices() {
-			for _, k := range []string{"procs", "grain", "width"} {
+			for _, k := range []string{"procs", "grain", "width", "strategy"} {
 				path := filepath.Join(*out, strings.ToLower(tm.Name)+"_"+k+".csv")
 				f, err := os.Create(path)
 				if err != nil {
 					log.Fatal(err)
 				}
-				if err := writeSeries(f, k, tm.Name, *procs, *grain); err != nil {
+				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat); err != nil {
 					log.Fatal(err)
 				}
 				if err := f.Close(); err != nil {
@@ -68,12 +71,12 @@ func main() {
 		}
 		return
 	}
-	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain); err != nil {
+	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func writeSeries(out io.Writer, kind, matrix string, procs, grain int) error {
+func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat string) error {
 	m, _, err := repro.BuildMatrix(matrix)
 	if err != nil {
 		return err
@@ -137,6 +140,32 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int) error {
 			if err := row(strconv.Itoa(wd), strconv.Itoa(len(part.Units)),
 				strconv.Itoa(len(part.Clusters)),
 				fmt.Sprint(tr.Total), fmt.Sprintf("%.4f", sc.Imbalance())); err != nil {
+				return err
+			}
+		}
+	case "strategy":
+		if err := row("strategy", "procs", "traffic", "mean_traffic", "imbalance",
+			"efficiency_bound", "makespan_eff"); err != nil {
+			return err
+		}
+		names := repro.Strategies()
+		if strat != "" {
+			names = []string{strat}
+		}
+		opts := repro.StrategyOptions{
+			Part: repro.PartitionOptions{Grain: grain, MinClusterWidth: 4},
+		}
+		for _, name := range names {
+			sc, err := sys.MapStrategy(name, procs, opts)
+			if err != nil {
+				return err
+			}
+			tr := sys.StrategyTraffic(opts, sc)
+			ms := sys.StrategyMakespan(opts, sc)
+			if err := row(name, strconv.Itoa(procs),
+				fmt.Sprint(tr.Total), fmt.Sprintf("%.1f", tr.Mean()),
+				fmt.Sprintf("%.4f", sc.Imbalance()), fmt.Sprintf("%.4f", sc.Efficiency()),
+				fmt.Sprintf("%.4f", ms.Efficiency)); err != nil {
 				return err
 			}
 		}

@@ -127,7 +127,9 @@ type Options struct {
 	RelaxZeros float64
 }
 
-func (o Options) withDefaults() Options {
+// Normalized returns the options with defaults applied, the canonical
+// form under which two option values partition identically.
+func (o Options) Normalized() Options {
 	if o.Grain <= 0 {
 		o.Grain = 4
 	}
@@ -159,7 +161,7 @@ type Partition struct {
 // structure f: cluster identification, block partitioning and dependency
 // analysis.
 func NewPartition(f *symbolic.Factor, opts Options) *Partition {
-	opts = opts.withDefaults()
+	opts = opts.Normalized()
 	var stats symbolic.RelaxStats
 	if opts.RelaxZeros > 0 {
 		f, stats = symbolic.Relax(f, opts.RelaxZeros)

@@ -106,12 +106,23 @@ func BlockTasks(part *core.Partition, s *sched.Schedule) []Task {
 // ColumnTasks builds the task graph of the wrap-mapped column algorithm:
 // one task per column, depending on every column of its row structure.
 func ColumnTasks(f *symbolic.Factor, ops *model.Ops, elemWork []int64, p int) []Task {
+	owner := make([]int32, f.N)
+	for j := range owner {
+		owner[j] = int32(j % p)
+	}
+	return ColumnTasksMapped(f, ops, elemWork, owner)
+}
+
+// ColumnTasksMapped is ColumnTasks for an arbitrary column-to-processor
+// assignment (owner[j] is the processor of column j), the task graph of
+// any column-granular mapping strategy.
+func ColumnTasksMapped(f *symbolic.Factor, ops *model.Ops, elemWork []int64, owner []int32) []Task {
 	colWork := model.ColumnWork(f, elemWork)
 	tasks := make([]Task, f.N)
 	for j := 0; j < f.N; j++ {
 		tasks[j] = Task{
 			ID:    j,
-			Proc:  int32(j % p),
+			Proc:  owner[j],
 			Work:  colWork[j],
 			Preds: ops.RowCols(j),
 		}

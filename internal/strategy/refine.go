@@ -1,0 +1,278 @@
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Default move caps for the two refinement objectives. Imbalance moves
+// cost O(P + units-on-source); traffic moves each re-run the traffic
+// simulation, so their budget is much smaller.
+const (
+	defaultImbalanceMoves = 1024
+	defaultTrafficMoves   = 64
+)
+
+// refineMapper composes a greedy local-refinement pass on top of any base
+// strategy: it repeatedly moves one schedulable unit (a unit block for
+// block-granular bases, a column otherwise) between processors while the
+// move strictly improves the objective — the paper's load imbalance
+// factor A by default, or the simulated data traffic. The pass never
+// accepts a worsening move, so the refined schedule's objective is never
+// worse than the base schedule's.
+type refineMapper struct{}
+
+func (refineMapper) Name() string { return "refine" }
+
+func (refineMapper) Map(sys *Sys, p int, opts Options) (*sched.Schedule, error) {
+	base := opts.Base
+	if base == "" {
+		base = "block"
+	}
+	if base == "refine" {
+		return nil, fmt.Errorf("strategy: refine cannot use itself as base")
+	}
+	sc, err := Map(base, sys, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Refine(sys, opts, sc)
+}
+
+func init() { Register(refineMapper{}) }
+
+// movable is one unit the refinement pass may reassign: a unit block of
+// the partition, or a whole column for column-granular schedules.
+type movable struct {
+	work  int64
+	elems []int32 // factor nonzero positions owned by this unit
+	preds []int32 // movable IDs this unit reads from (locality signal)
+}
+
+// Refine runs the greedy local-refinement pass of the "refine" strategy
+// on an existing schedule, returning a new schedule (the input is left
+// untouched). The granularity is inferred from the schedule: unit blocks
+// when UnitProc is present (the partition comes from opts.Part), columns
+// otherwise.
+func Refine(sys *Sys, opts Options, base *sched.Schedule) (*sched.Schedule, error) {
+	sc := cloneSchedule(base)
+	mv, own, err := movables(sys, opts, sc)
+	if err != nil {
+		return nil, err
+	}
+	switch opts.Objective {
+	case "", "imbalance":
+		refineImbalance(sc, mv, own, opts.MaxMoves)
+	case "traffic":
+		refineTraffic(sys, opts, sc, mv, own, opts.MaxMoves)
+	default:
+		return nil, fmt.Errorf("strategy: unknown refine objective %q (want imbalance or traffic)", opts.Objective)
+	}
+	return sc, nil
+}
+
+func cloneSchedule(s *sched.Schedule) *sched.Schedule {
+	c := &sched.Schedule{
+		P:        s.P,
+		ElemProc: append([]int32(nil), s.ElemProc...),
+		Work:     append([]int64(nil), s.Work...),
+	}
+	if s.UnitProc != nil {
+		c.UnitProc = append([]int32(nil), s.UnitProc...)
+	}
+	return c
+}
+
+// movables builds the refinement units of a schedule and the current
+// owner of each.
+func movables(sys *Sys, opts Options, sc *sched.Schedule) ([]movable, []int32, error) {
+	if sc.UnitProc != nil {
+		part := sys.Partition(opts.Part)
+		if len(sc.UnitProc) != len(part.Units) || len(sc.ElemProc) != part.F.NNZ() {
+			return nil, nil, fmt.Errorf("strategy: schedule does not match the partition of opts.Part")
+		}
+		mv := make([]movable, len(part.Units))
+		for i := range part.Units {
+			u := &part.Units[i]
+			mv[i] = movable{work: u.Work, preds: u.Preds}
+		}
+		for q, uid := range part.ElemUnit {
+			mv[uid].elems = append(mv[uid].elems, int32(q))
+		}
+		return mv, append([]int32(nil), sc.UnitProc...), nil
+	}
+	f := sys.F
+	if len(sc.ElemProc) != f.NNZ() {
+		return nil, nil, fmt.Errorf("strategy: schedule does not match the analysis factor")
+	}
+	colWork := sys.ColumnWork()
+	mv := make([]movable, f.N)
+	for j := 0; j < f.N; j++ {
+		elems := make([]int32, 0, f.ColPtr[j+1]-f.ColPtr[j])
+		for q := f.ColPtr[j]; q < f.ColPtr[j+1]; q++ {
+			elems = append(elems, int32(q))
+		}
+		mv[j] = movable{work: colWork[j], elems: elems, preds: sys.Ops.RowCols(j)}
+	}
+	return mv, columnOwners(f, sc), nil
+}
+
+// move reassigns movable u to processor dst, updating the schedule's
+// element ownership and per-processor work in place.
+func move(sc *sched.Schedule, mv []movable, own []int32, u int, dst int32) {
+	src := own[u]
+	own[u] = dst
+	sc.Work[src] -= mv[u].work
+	sc.Work[dst] += mv[u].work
+	for _, q := range mv[u].elems {
+		sc.ElemProc[q] = dst
+	}
+	if sc.UnitProc != nil {
+		sc.UnitProc[u] = dst
+	}
+}
+
+// refineImbalance repeatedly moves a unit from an overloaded processor to
+// the least-loaded one when that strictly lowers the pair's bottleneck
+// without raising the global maximum; each accepted move strictly
+// decreases the sum of squared processor loads, so the pass terminates
+// and the imbalance factor A never increases.
+func refineImbalance(sc *sched.Schedule, mv []movable, own []int32, maxMoves int) {
+	if maxMoves <= 0 {
+		maxMoves = defaultImbalanceMoves
+	}
+	p := sc.P
+	if p < 2 {
+		return
+	}
+	// byProc[k] lists the movables currently on processor k.
+	byProc := make([][]int, p)
+	for u := range mv {
+		byProc[own[u]] = append(byProc[own[u]], u)
+	}
+	for moves := 0; moves < maxMoves; {
+		dst := int32(0)
+		for k := 1; k < p; k++ {
+			if sc.Work[k] < sc.Work[dst] {
+				dst = int32(k)
+			}
+		}
+		// Scan sources from most loaded down; the first source with an
+		// improving move takes it.
+		order := make([]int32, 0, p)
+		for k := 0; k < p; k++ {
+			if int32(k) != dst {
+				order = append(order, int32(k))
+			}
+		}
+		for a := 1; a < len(order); a++ {
+			for b := a; b > 0 && sc.Work[order[b]] > sc.Work[order[b-1]]; b-- {
+				order[b], order[b-1] = order[b-1], order[b]
+			}
+		}
+		moved := false
+		for _, src := range order {
+			gap := sc.Work[src] - sc.Work[dst]
+			if gap <= 0 {
+				break
+			}
+			// Best unit: minimize the pair bottleneck max(Wsrc-w, Wdst+w);
+			// any unit with 0 < w < gap strictly improves it.
+			best, bestBot := -1, sc.Work[src]
+			for _, u := range byProc[src] {
+				w := mv[u].work
+				if w <= 0 || w >= gap {
+					continue
+				}
+				bot := sc.Work[src] - w
+				if d := sc.Work[dst] + w; d > bot {
+					bot = d
+				}
+				if bot < bestBot {
+					best, bestBot = u, bot
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			move(sc, mv, own, best, dst)
+			list := byProc[src]
+			for i, u := range list {
+				if u == best {
+					list[i] = list[len(list)-1]
+					byProc[src] = list[:len(list)-1]
+					break
+				}
+			}
+			byProc[dst] = append(byProc[dst], best)
+			moves++
+			moved = true
+			break
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// refineTraffic tries moving each unit to the processor owning most of
+// its dependency neighborhood (predecessors and successors), keeping a
+// move only when the re-simulated total traffic strictly decreases.
+func refineTraffic(sys *Sys, opts Options, sc *sched.Schedule, mv []movable, own []int32, maxMoves int) {
+	if maxMoves <= 0 {
+		maxMoves = defaultTrafficMoves
+	}
+	simulate := func() int64 { return Traffic(sys, opts, sc).Total }
+	cur := simulate()
+	// Neighborhood = predecessors plus successors (units reading from u).
+	succs := make([][]int32, len(mv))
+	for u := range mv {
+		for _, pr := range mv[u].preds {
+			succs[pr] = append(succs[pr], int32(u))
+		}
+	}
+	tally := make([]int64, sc.P)
+	moves := 0
+	for {
+		improved := false
+		for u := range mv {
+			if moves >= maxMoves {
+				return
+			}
+			if mv[u].work == 0 && len(mv[u].elems) == 0 {
+				continue
+			}
+			for k := range tally {
+				tally[k] = 0
+			}
+			for _, pr := range mv[u].preds {
+				tally[own[pr]]++
+			}
+			for _, sx := range succs[u] {
+				tally[own[sx]]++
+			}
+			tgt := own[u]
+			for k := range tally {
+				if tally[k] > tally[tgt] {
+					tgt = int32(k)
+				}
+			}
+			if tgt == own[u] {
+				continue
+			}
+			src := own[u]
+			move(sc, mv, own, u, tgt)
+			moves++
+			if t := simulate(); t < cur {
+				cur = t
+				improved = true
+			} else {
+				move(sc, mv, own, u, src)
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package strategy is a pluggable registry of partitioning/mapping
+// strategies for the sparse Cholesky factorization pipeline.
+//
+// The paper compares exactly two mapping schemes — the Section 3.4 block
+// heuristic and the classical wrap (cyclic) column mapping — and the rest
+// of the repository measures them with scheme-agnostic simulators (data
+// traffic, load imbalance, dependency-delay makespan). This package
+// decouples "how work is assigned to processors" from "how an assignment
+// is evaluated": every strategy is a Mapper producing an ordinary
+// sched.Schedule, so the existing simulators evaluate any registered
+// scheme unchanged.
+//
+// Six strategies ship with the registry:
+//
+//   - block: the paper's Section 3.4 unit-block allocation heuristic.
+//   - blockgreedy: its work-aware variant (every fallback decision picks
+//     the least-loaded processor; see sched.BlockMapGreedy).
+//   - wrap: the classical wrap mapping, column j -> processor j mod P.
+//   - contiguous: work-balanced contiguous column blocks with the optimal
+//     bottleneck (minimal maximum block work) found by binary search over
+//     a greedy feasibility probe on prefix work sums, in the spirit of
+//     Ahrens, "Contiguous Graph Partitioning For Optimal Total Or
+//     Bottleneck Communication" (2020).
+//   - blockcyclic: column blocks of a tunable size dealt cyclically to
+//     processors, interpolating between wrap (block size 1) and
+//     contiguous-like locality (large blocks).
+//   - refine: a greedy local-refinement pass (Pulp-style) over any base
+//     strategy's schedule, moving boundary units between processors while
+//     the move strictly improves the chosen objective — the paper's load
+//     imbalance factor A, or the simulated data traffic.
+//
+// New strategies register themselves with Register (typically from an
+// init function) and immediately become available to the repro API,
+// cmd/sweep -kind strategy, cmd/paperbench -table strategy and the
+// cross-strategy tables.
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/symbolic"
+	"repro/internal/traffic"
+)
+
+// Sys bundles the analysis products of one matrix that mappers consume:
+// the symbolic factor, its operation structure and the per-element work
+// vector. It also caches partitions per option set so block-based
+// strategies (and refinement passes over them) share one partitioning.
+type Sys struct {
+	F        *symbolic.Factor
+	Ops      *model.Ops
+	ElemWork []int64
+	// Total is the summed element work (the paper's Wtot).
+	Total int64
+
+	mu    sync.Mutex
+	parts map[core.Options]*partEntry
+}
+
+type partEntry struct {
+	part *core.Partition
+	ops  *model.Ops // ops of part.F (== Sys.Ops unless relaxed)
+}
+
+// NewSys builds a Sys from an analyzed factor. ops and elemWork may be
+// nil, in which case they are recomputed from f.
+func NewSys(f *symbolic.Factor, ops *model.Ops, elemWork []int64) *Sys {
+	if ops == nil {
+		ops = model.NewOps(f)
+	}
+	if elemWork == nil {
+		elemWork = model.ElementWork(ops)
+	}
+	return &Sys{
+		F: f, Ops: ops, ElemWork: elemWork,
+		Total: model.TotalWork(elemWork),
+		parts: make(map[core.Options]*partEntry),
+	}
+}
+
+// Partition returns the (cached) unit-block partition for the given
+// options.
+func (s *Sys) Partition(opts core.Options) *core.Partition {
+	return s.partition(opts).part
+}
+
+func (s *Sys) partition(opts core.Options) *partEntry {
+	opts = opts.Normalized() // one cache entry per distinct partitioning
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.parts == nil {
+		s.parts = make(map[core.Options]*partEntry)
+	}
+	pe, ok := s.parts[opts]
+	if !ok {
+		part := core.NewPartition(s.F, opts)
+		ops := s.Ops
+		if part.F != s.F {
+			// Relaxation padded the factor; simulators need its own ops.
+			ops = model.NewOps(part.F)
+		}
+		pe = &partEntry{part: part, ops: ops}
+		s.parts[opts] = pe
+	}
+	return pe
+}
+
+// ColumnWork returns the per-column work vector of the analysis factor.
+func (s *Sys) ColumnWork() []int64 {
+	return model.ColumnWork(s.F, s.ElemWork)
+}
+
+// Options carries the per-strategy knobs. The zero value selects sensible
+// defaults everywhere, so Options{} is always a valid argument.
+type Options struct {
+	// Part holds the partitioner knobs (grain, minimum cluster width,
+	// relaxation) used by the block-based strategies and by refinement
+	// over them. The zero value selects the paper's defaults.
+	Part core.Options
+	// BlockSize is the column-block size of the blockcyclic strategy
+	// (<= 0 selects the default of 4).
+	BlockSize int
+	// Base names the strategy whose schedule the refine strategy starts
+	// from (empty selects "block").
+	Base string
+	// Objective selects what refine improves: "imbalance" (the paper's
+	// load-imbalance factor A; the default) or "traffic" (the simulated
+	// data traffic).
+	Objective string
+	// MaxMoves caps the number of refinement moves considered (<= 0
+	// selects a per-objective default).
+	MaxMoves int
+}
+
+// Mapper is one partitioning/mapping strategy. Map assigns the
+// factorization work of sys to p processors and returns the schedule;
+// the schedule's ElemProc must cover every nonzero of the factor the
+// strategy worked on (sys.F, or the relaxed partition factor for
+// block-based strategies).
+type Mapper interface {
+	Name() string
+	Map(sys *Sys, p int, opts Options) (*sched.Schedule, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Mapper)
+)
+
+// Register adds a strategy to the registry. It panics on an empty name or
+// a duplicate registration, mirroring database/sql.Register.
+func Register(m Mapper) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := m.Name()
+	if name == "" {
+		panic("strategy: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("strategy: Register called twice for %q", name))
+	}
+	registry[name] = m
+}
+
+// Lookup returns the registered strategy with the given name.
+func Lookup(name string) (Mapper, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := registry[name]
+	return m, ok
+}
+
+// Names returns the sorted names of all registered strategies.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Map runs the named strategy, returning a descriptive error when the
+// name is unknown.
+func Map(name string, sys *Sys, p int, opts Options) (*sched.Schedule, error) {
+	m, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("strategy: unknown strategy %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return m.Map(sys, p, opts)
+}
+
+func checkProcs(p int) error {
+	if p < 1 {
+		return fmt.Errorf("strategy: invalid processor count %d", p)
+	}
+	return nil
+}
+
+// columnSchedule derives a schedule from a column-to-processor assignment
+// (owner[j] is the processor of column j).
+func columnSchedule(sys *Sys, p int, owner []int32) *sched.Schedule {
+	f := sys.F
+	s := &sched.Schedule{
+		P:        p,
+		ElemProc: make([]int32, f.NNZ()),
+		Work:     make([]int64, p),
+	}
+	for j := 0; j < f.N; j++ {
+		proc := owner[j]
+		for q := f.ColPtr[j]; q < f.ColPtr[j+1]; q++ {
+			s.ElemProc[q] = proc
+			s.Work[proc] += sys.ElemWork[q]
+		}
+	}
+	return s
+}
+
+// columnOwners recovers the column-to-processor assignment of a
+// column-granular schedule (every element of a column shares one owner).
+func columnOwners(f *symbolic.Factor, sc *sched.Schedule) []int32 {
+	owner := make([]int32, f.N)
+	for j := 0; j < f.N; j++ {
+		owner[j] = sc.ElemProc[f.ColPtr[j]]
+	}
+	return owner
+}
+
+// checkPartMatch panics when a block-granular schedule does not belong
+// to the partition selected by opts.Part (e.g. the schedule was mapped
+// with different grain/width/relaxation options), the same loud failure
+// traffic.FetchVolumes gives for schedule/partition mismatches.
+func checkPartMatch(part *core.Partition, sc *sched.Schedule) {
+	if len(sc.UnitProc) != len(part.Units) || len(sc.ElemProc) != part.F.NNZ() {
+		panic(fmt.Sprintf(
+			"strategy: schedule (units=%d, elems=%d) does not match the partition of opts.Part (units=%d, elems=%d); evaluate with the same Options the schedule was mapped with",
+			len(sc.UnitProc), len(sc.ElemProc), len(part.Units), part.F.NNZ()))
+	}
+}
+
+// Traffic simulates the data traffic of a strategy schedule, honoring
+// relaxed partitions for block-granular schedules (the strategy analogue
+// of repro's TrafficPart). opts must be the Options the schedule was
+// mapped with.
+func Traffic(sys *Sys, opts Options, sc *sched.Schedule) *traffic.Result {
+	if sc.UnitProc != nil {
+		pe := sys.partition(opts.Part)
+		checkPartMatch(pe.part, sc)
+		if pe.part.F != sys.F {
+			return traffic.Simulate(pe.ops, sc)
+		}
+	}
+	return traffic.Simulate(sys.Ops, sc)
+}
+
+// Makespan simulates dependency-delay execution of a strategy schedule:
+// unit-block tasks for block-granular schedules, column tasks otherwise.
+// opts must be the Options the schedule was mapped with.
+func Makespan(sys *Sys, opts Options, sc *sched.Schedule) exec.SimResult {
+	if sc.UnitProc != nil {
+		part := sys.Partition(opts.Part)
+		checkPartMatch(part, sc)
+		return exec.SimulateMakespan(exec.BlockTasks(part, sc), sc.P)
+	}
+	owner := columnOwners(sys.F, sc)
+	tasks := exec.ColumnTasksMapped(sys.F, sys.Ops, sys.ElemWork, owner)
+	return exec.SimulateMakespan(tasks, sc.P)
+}

@@ -19,16 +19,25 @@
 //	wrap := sys.WrapSchedule(16)
 //	fmt.Println(sys.Traffic(block).Total, "vs", sys.Traffic(wrap).Total)
 //
+// Beyond the paper's two schemes, a pluggable strategy registry
+// (internal/strategy) maps the same factorization with contiguous
+// optimal-bottleneck column blocks, block-cyclic layouts, or a greedy
+// refinement pass over any base scheme:
+//
+//	sc, _ := sys.MapStrategy("contiguous", 16, repro.StrategyOptions{})
+//	fmt.Println(sys.StrategyTraffic(repro.StrategyOptions{}, sc).Total)
+//
 // The subsystems live in internal packages (sparse storage, generators,
 // Harwell-Boeing I/O, MMD ordering, symbolic and numeric factorization,
-// the partitioner core, schedulers, and the traffic/makespan simulators);
-// this package re-exports the stable surface needed to reproduce and
-// extend the paper's experiments.
+// the partitioner core, schedulers, the mapping-strategy registry, and
+// the traffic/makespan simulators); this package re-exports the stable
+// surface needed to reproduce and extend the paper's experiments.
 package repro
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -39,6 +48,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/sched"
 	"repro/internal/sparse"
+	"repro/internal/strategy"
 	"repro/internal/symbolic"
 	"repro/internal/traffic"
 )
@@ -102,6 +112,9 @@ type System struct {
 	ops      *model.Ops
 	elemWork []int64
 	total    int64
+
+	stratMu sync.Mutex
+	strat   *strategy.Sys
 }
 
 // Analyze orders the matrix with multiple minimum degree and computes the
@@ -183,6 +196,58 @@ func (s *System) BlockScheduleGreedy(part *Partition, p int) *Schedule {
 // baseline).
 func (s *System) WrapSchedule(p int) *Schedule {
 	return sched.WrapMap(s.F, s.elemWork, p)
+}
+
+// ------------------------------------------------------------ strategies
+
+// StrategyOptions carries the per-strategy knobs of the pluggable mapping
+// registry (partition grain/width for block-based strategies, block size
+// for blockcyclic, base strategy and objective for refine). The zero
+// value selects sensible defaults everywhere.
+type StrategyOptions = strategy.Options
+
+// Strategies returns the sorted names of every registered partitioning
+// strategy (at least block, blockcyclic, blockgreedy, contiguous, refine
+// and wrap).
+func Strategies() []string { return strategy.Names() }
+
+// strategySys lazily builds the strategy-subsystem view of this analysis,
+// sharing the already-computed ops and element work.
+func (s *System) strategySys() *strategy.Sys {
+	s.stratMu.Lock()
+	defer s.stratMu.Unlock()
+	if s.strat == nil {
+		s.strat = strategy.NewSys(s.F, s.ops, s.elemWork)
+	}
+	return s.strat
+}
+
+// MapStrategy runs the named registered strategy, producing a schedule
+// the traffic and makespan simulators evaluate like any other. Unknown
+// names yield an error listing the registered strategies.
+func (s *System) MapStrategy(name string, p int, opts StrategyOptions) (*Schedule, error) {
+	return strategy.Map(name, s.strategySys(), p, opts)
+}
+
+// StrategyTraffic simulates the data traffic of a strategy schedule,
+// honoring relaxed partitions for block-granular strategies (the strategy
+// analogue of TrafficPart).
+func (s *System) StrategyTraffic(opts StrategyOptions, sc *Schedule) *TrafficResult {
+	return strategy.Traffic(s.strategySys(), opts, sc)
+}
+
+// StrategyMakespan simulates dependency-delay execution of a strategy
+// schedule: unit-block tasks for block-granular schedules, column tasks
+// otherwise.
+func (s *System) StrategyMakespan(opts StrategyOptions, sc *Schedule) MakespanResult {
+	return strategy.Makespan(s.strategySys(), opts, sc)
+}
+
+// RefineSchedule runs the refine strategy's greedy improvement pass on an
+// existing schedule without re-running its base strategy (opts selects
+// the objective and move budget; the input schedule is not modified).
+func (s *System) RefineSchedule(opts StrategyOptions, sc *Schedule) (*Schedule, error) {
+	return strategy.Refine(s.strategySys(), opts, sc)
 }
 
 // Traffic simulates the data traffic of a schedule under the paper's
