@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/exec"
 	"repro/internal/tables"
 )
 
@@ -20,7 +21,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 	table := flag.String("table", "all",
-		"which table to regenerate: 1..5, makespan, partners, grain, relax, alloc, order, solve, dynamic, crossover, messages, commspan, strategy, or all")
+		"which table to regenerate: 1..5, makespan, partners, grain, relax, alloc, order, solve, dynamic, crossover, messages, commspan, unified, strategy, or all")
+	alpha := flag.Float64("alpha", 2, "comm model: work units per fetched element (unified table)")
+	beta := flag.Float64("beta", 10, "comm model: work units per received message (unified table)")
 	flag.Parse()
 
 	ps, err := tables.LoadSuite()
@@ -104,6 +107,15 @@ func main() {
 	if show("commspan") {
 		rows := tables.CommMakespan(lap, 16, []float64{0, 1, 2, 5, 10, 20})
 		fmt.Println(tables.FormatCommMakespan("LAP30", 16, rows))
+		printed = true
+	}
+	if show("unified") {
+		cm := exec.CommModel{Alpha: *alpha, Beta: *beta}
+		rows, err := tables.UnifiedComm(lap, tables.WrapProcs, nil, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatUnifiedComm("LAP30", cm, rows))
 		printed = true
 	}
 	if show("strategy") {

@@ -10,6 +10,7 @@
 //	sweep -kind width    -matrix LAP30 -procs 16 > width.csv
 //	sweep -kind strategy -matrix LAP30 -procs 16 > strategy.csv
 //	sweep -kind strategy -strategy contiguous -matrix LAP30 -procs 16
+//	sweep -kind comm     -matrix LAP30 -alpha 2 -beta 10 > comm.csv
 //	sweep -kind all      -out data/         # every series for every matrix
 package main
 
@@ -37,14 +38,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		kind   = flag.String("kind", "procs", "series: procs, grain, width, strategy, or all")
+		kind   = flag.String("kind", "procs", "series: procs, grain, width, strategy, comm, or all")
 		matrix = flag.String("matrix", "LAP30", "test matrix name")
 		procs  = flag.Int("procs", 16, "processors (grain, width and strategy sweeps)")
 		grain  = flag.Int("grain", 25, "grain size (procs, width and strategy sweeps)")
 		strat  = flag.String("strategy", "", "restrict the strategy sweep to one registered strategy (default all: "+strings.Join(repro.Strategies(), ", ")+")")
 		out    = flag.String("out", "", "output directory for -kind all (default stdout for single series)")
+		alpha  = flag.Float64("alpha", 2, "comm model: work units per fetched element (comm sweep)")
+		beta   = flag.Float64("beta", 10, "comm model: work units per received message (comm sweep)")
 	)
 	flag.Parse()
+	cm := repro.CommModel{Alpha: *alpha, Beta: *beta}
 
 	if *kind == "all" {
 		if *out == "" {
@@ -54,13 +58,13 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, tm := range repro.TestMatrices() {
-			for _, k := range []string{"procs", "grain", "width", "strategy"} {
+			for _, k := range []string{"procs", "grain", "width", "strategy", "comm"} {
 				path := filepath.Join(*out, strings.ToLower(tm.Name)+"_"+k+".csv")
 				f, err := os.Create(path)
 				if err != nil {
 					log.Fatal(err)
 				}
-				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat); err != nil {
+				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat, cm); err != nil {
 					log.Fatal(err)
 				}
 				if err := f.Close(); err != nil {
@@ -71,12 +75,12 @@ func main() {
 		}
 		return
 	}
-	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat); err != nil {
+	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat, cm); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat string) error {
+func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat string, cm repro.CommModel) error {
 	m, _, err := repro.BuildMatrix(matrix)
 	if err != nil {
 		return err
@@ -167,6 +171,41 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat str
 				fmt.Sprintf("%.4f", sc.Imbalance()), fmt.Sprintf("%.4f", sc.Efficiency()),
 				fmt.Sprintf("%.4f", ms.Efficiency)); err != nil {
 				return err
+			}
+		}
+	case "comm":
+		if err := row("strategy", "procs", "alpha", "beta", "fetch_vol", "fetch_msgs",
+			"span_compute", "span_comm", "span_comm_dynamic", "comm_frac"); err != nil {
+			return err
+		}
+		names := repro.Strategies()
+		if strat != "" {
+			names = []string{strat}
+		}
+		opts := repro.StrategyOptions{
+			Part: repro.PartitionOptions{Grain: grain, MinClusterWidth: 4},
+		}
+		for _, name := range names {
+			for _, p := range procsSweep {
+				sc, err := sys.MapStrategy(name, p, opts)
+				if err != nil {
+					return err
+				}
+				tc := sys.StrategyFetchStats(opts, sc)
+				comp := sys.StrategyMakespan(opts, sc)
+				cs := sys.StrategyMakespanComm(opts, sc, cm)
+				cd := sys.StrategyMakespanCommDynamic(opts, sc, cm)
+				frac := 0.0
+				if cd.TotalWork > 0 {
+					frac = float64(cd.Comm) / float64(cd.TotalWork)
+				}
+				if err := row(name, strconv.Itoa(p),
+					fmt.Sprintf("%g", cm.Alpha), fmt.Sprintf("%g", cm.Beta),
+					fmt.Sprint(tc.TotalVol()), fmt.Sprint(tc.TotalMsgs()),
+					fmt.Sprint(comp.Makespan), fmt.Sprint(cs.Makespan),
+					fmt.Sprint(cd.Makespan), fmt.Sprintf("%.4f", frac)); err != nil {
+					return err
+				}
 			}
 		}
 	default:

@@ -1,0 +1,78 @@
+package exec
+
+// CommModel is the linear communication-time model of the makespan
+// simulators: fetching one non-local element costs Alpha work units
+// (the bandwidth term, the paper's per-element data traffic) and every
+// consolidated message costs Beta work units (the latency term, the
+// paper's step-5 consolidation unit). Both are measured in the same units
+// as Task.Work (one unit per multiply-add pair).
+//
+// The paper keeps data traffic (Section 4.1) and load balance (Section
+// 4.2) as separate metrics and argues informally that "the savings in
+// communication will more than offset the disadvantage of load imbalance"
+// on machines where communication is expensive. CommModel makes that
+// argument executable: each task's duration becomes its compute work plus
+// the time to fetch its non-local operands, so the same list simulations
+// that measure dependency delays produce a single unified time estimate in
+// which traffic, latency, balance and dependency structure all interact.
+// The zero value charges nothing, reproducing the compute-only simulators
+// bit for bit.
+type CommModel struct {
+	Alpha float64 // work units per fetched non-local element
+	Beta  float64 // work units per received message
+}
+
+// IsZero reports whether the model charges nothing.
+func (c CommModel) IsZero() bool { return c.Alpha == 0 && c.Beta == 0 }
+
+// Cost returns the communication time of a task that fetches vol elements
+// in msgs messages. The value is truncated to integer work units (the
+// convention of the Ext-L study), so a zero model adds exactly nothing and
+// costs are monotone in Alpha, Beta, vol and msgs.
+func (c CommModel) Cost(vol, msgs int64) int64 {
+	return int64(c.Alpha*float64(vol)) + int64(c.Beta*float64(msgs))
+}
+
+// InflateTasks returns a copy of tasks whose durations include the comm
+// cost of their fetch volumes and message counts, plus the total comm time
+// added. vol and msgs may be nil (no communication charged for that term);
+// when non-nil they must align with tasks by ID.
+func InflateTasks(tasks []Task, cm CommModel, vol, msgs []int64) ([]Task, int64) {
+	out := make([]Task, len(tasks))
+	var comm int64
+	for i, t := range tasks {
+		out[i] = t
+		var v, m int64
+		if vol != nil {
+			v = vol[i]
+		}
+		if msgs != nil {
+			m = msgs[i]
+		}
+		c := cm.Cost(v, m)
+		out[i].Work = t.Work + c
+		comm += c
+	}
+	return out, comm
+}
+
+// SimulateMakespanComm runs the static-order list simulation with
+// communication-aware task durations: work + cm.Cost(vol[i], msgs[i]).
+// With a zero model the result is identical to SimulateMakespan(tasks, p).
+// The result's TotalWork (and hence Efficiency) counts comm time as busy
+// time; Comm reports the communication share.
+func SimulateMakespanComm(tasks []Task, p int, cm CommModel, vol, msgs []int64) SimResult {
+	inflated, comm := InflateTasks(tasks, cm, vol, msgs)
+	res := SimulateMakespan(inflated, p)
+	res.Comm = comm
+	return res
+}
+
+// SimulateMakespanDynamicComm is SimulateMakespanComm with the dynamic
+// critical-path-priority ready queue of SimulateMakespanDynamic.
+func SimulateMakespanDynamicComm(tasks []Task, p int, cm CommModel, vol, msgs []int64) SimResult {
+	inflated, comm := InflateTasks(tasks, cm, vol, msgs)
+	res := SimulateMakespanDynamic(inflated, p)
+	res.Comm = comm
+	return res
+}

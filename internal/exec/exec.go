@@ -48,6 +48,10 @@ type SimResult struct {
 	Idle int64
 	// Efficiency is TotalWork / (P * Makespan).
 	Efficiency float64
+	// Comm is the summed communication time charged to tasks; zero for the
+	// compute-only simulators, and included in TotalWork (as busy time)
+	// for the comm-aware ones.
+	Comm int64
 }
 
 // SimulateMakespan runs the static-order list simulation. Tasks must be

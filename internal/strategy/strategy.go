@@ -263,16 +263,59 @@ func Traffic(sys *Sys, opts Options, sc *sched.Schedule) *traffic.Result {
 	return traffic.Simulate(sys.Ops, sc)
 }
 
+// Tasks builds the makespan task graph of a strategy schedule: unit-block
+// tasks for block-granular schedules, column tasks otherwise. opts must be
+// the Options the schedule was mapped with.
+func Tasks(sys *Sys, opts Options, sc *sched.Schedule) []exec.Task {
+	if sc.UnitProc != nil {
+		part := sys.Partition(opts.Part)
+		checkPartMatch(part, sc)
+		return exec.BlockTasks(part, sc)
+	}
+	owner := columnOwners(sys.F, sc)
+	return exec.ColumnTasksMapped(sys.F, sys.Ops, sys.ElemWork, owner)
+}
+
+// FetchStats attributes the schedule's non-local fetches to its makespan
+// tasks (per unit block or per column) with consolidated message counts,
+// honoring relaxed partitions like Traffic does. The volumes partition
+// Traffic(sys, opts, sc).Total exactly, which is what lets the comm-aware
+// makespan charge every fetch exactly once. opts must be the Options the
+// schedule was mapped with.
+func FetchStats(sys *Sys, opts Options, sc *sched.Schedule) *traffic.TaskComm {
+	if sc.UnitProc != nil {
+		pe := sys.partition(opts.Part)
+		checkPartMatch(pe.part, sc)
+		return traffic.FetchStats(pe.part, pe.ops, sc)
+	}
+	return traffic.FetchStatsColumns(sys.Ops, sc)
+}
+
 // Makespan simulates dependency-delay execution of a strategy schedule:
 // unit-block tasks for block-granular schedules, column tasks otherwise.
 // opts must be the Options the schedule was mapped with.
 func Makespan(sys *Sys, opts Options, sc *sched.Schedule) exec.SimResult {
-	if sc.UnitProc != nil {
-		part := sys.Partition(opts.Part)
-		checkPartMatch(part, sc)
-		return exec.SimulateMakespan(exec.BlockTasks(part, sc), sc.P)
-	}
-	owner := columnOwners(sys.F, sc)
-	tasks := exec.ColumnTasksMapped(sys.F, sys.Ops, sys.ElemWork, owner)
-	return exec.SimulateMakespan(tasks, sc.P)
+	return exec.SimulateMakespan(Tasks(sys, opts, sc), sc.P)
+}
+
+// MakespanDynamic is Makespan with the dynamic critical-path-priority
+// ready queue on each processor instead of static scan order.
+func MakespanDynamic(sys *Sys, opts Options, sc *sched.Schedule) exec.SimResult {
+	return exec.SimulateMakespanDynamic(Tasks(sys, opts, sc), sc.P)
+}
+
+// MakespanComm simulates dependency-delay execution with
+// communication-aware task durations: every task is charged its compute
+// work plus cm.Cost of the fetch volume and message count FetchStats
+// attributes to it. With a zero model the result is identical to Makespan.
+func MakespanComm(sys *Sys, opts Options, sc *sched.Schedule, cm exec.CommModel) exec.SimResult {
+	tc := FetchStats(sys, opts, sc)
+	return exec.SimulateMakespanComm(Tasks(sys, opts, sc), sc.P, cm, tc.Vol, tc.Msgs)
+}
+
+// MakespanCommDynamic is MakespanComm with the dynamic ready queue; with a
+// zero model it is identical to MakespanDynamic.
+func MakespanCommDynamic(sys *Sys, opts Options, sc *sched.Schedule, cm exec.CommModel) exec.SimResult {
+	tc := FetchStats(sys, opts, sc)
+	return exec.SimulateMakespanDynamicComm(Tasks(sys, opts, sc), sc.P, cm, tc.Vol, tc.Msgs)
 }

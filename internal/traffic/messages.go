@@ -136,95 +136,14 @@ func AlphaBetaCost(st *MessageStats, r *Result, alpha, beta float64) float64 {
 // Feeding these into the makespan simulation with a per-element
 // communication cost unifies the paper's two separate metrics — traffic
 // and load balance — into a single time estimate (EXPERIMENTS.md Ext-L).
+// FetchStats additionally reports per-unit message counts for the
+// latency term of exec.CommModel.
 func FetchVolumes(part *core.Partition, ops *model.Ops, s *sched.Schedule) []int64 {
-	nnz := ops.F.NNZ()
-	if len(s.ElemProc) != nnz || len(part.ElemUnit) != nnz {
-		panic("traffic: schedule/partition/factor mismatch")
-	}
-	vol := make([]int64, len(part.Units))
-	wide := s.P > 64
-	var fetched []uint64
-	var fetchedWide map[int64]struct{}
-	if wide {
-		fetchedWide = make(map[int64]struct{})
-	} else {
-		fetched = make([]uint64, nnz)
-	}
-	access := func(elem int32, tgt int32) {
-		proc := s.ElemProc[tgt]
-		if s.ElemProc[elem] == proc {
-			return
-		}
-		if wide {
-			k := int64(elem)<<16 | int64(proc)
-			if _, ok := fetchedWide[k]; ok {
-				return
-			}
-			fetchedWide[k] = struct{}{}
-		} else {
-			bit := uint64(1) << uint(proc)
-			if fetched[elem]&bit != 0 {
-				return
-			}
-			fetched[elem] |= bit
-		}
-		vol[part.ElemUnit[tgt]]++
-	}
-	ops.ForEachUpdate(func(u model.Update) {
-		access(u.SrcI, u.Tgt)
-		access(u.SrcJ, u.Tgt)
-	})
-	ops.ForEachScale(func(tgt, diag int32) {
-		access(diag, tgt)
-	})
-	return vol
+	return FetchStats(part, ops, s).Vol
 }
 
 // FetchVolumesColumns is FetchVolumes for column-mapped schedules,
 // returning per-column fetch counts.
 func FetchVolumesColumns(ops *model.Ops, s *sched.Schedule) []int64 {
-	f := ops.F
-	colOf := make([]int32, f.NNZ())
-	for j := 0; j < f.N; j++ {
-		for q := f.ColPtr[j]; q < f.ColPtr[j+1]; q++ {
-			colOf[q] = int32(j)
-		}
-	}
-	vol := make([]int64, f.N)
-	wide := s.P > 64
-	var fetched []uint64
-	var fetchedWide map[int64]struct{}
-	if wide {
-		fetchedWide = make(map[int64]struct{})
-	} else {
-		fetched = make([]uint64, f.NNZ())
-	}
-	access := func(elem int32, tgt int32) {
-		proc := s.ElemProc[tgt]
-		if s.ElemProc[elem] == proc {
-			return
-		}
-		if wide {
-			k := int64(elem)<<16 | int64(proc)
-			if _, ok := fetchedWide[k]; ok {
-				return
-			}
-			fetchedWide[k] = struct{}{}
-		} else {
-			bit := uint64(1) << uint(proc)
-			if fetched[elem]&bit != 0 {
-				return
-			}
-			fetched[elem] |= bit
-		}
-		vol[colOf[tgt]]++
-	}
-	ops.ForEachUpdate(func(u model.Update) {
-		access(u.SrcI, u.Tgt)
-		access(u.SrcJ, u.Tgt)
-	})
-	ops.ForEachScale(func(tgt, diag int32) {
-		access(diag, tgt)
-	})
-	return vol
+	return FetchStatsColumns(ops, s).Vol
 }

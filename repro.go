@@ -79,6 +79,18 @@ type TrafficResult = traffic.Result
 // MakespanResult is the outcome of the dependency-delay simulation.
 type MakespanResult = exec.SimResult
 
+// CommModel is the linear communication-time model of the comm-aware
+// makespan simulators: Alpha work units per fetched non-local element
+// (bandwidth) plus Beta work units per consolidated message (latency).
+// The zero value charges nothing and reproduces the compute-only
+// simulators exactly.
+type CommModel = exec.CommModel
+
+// TaskComm attributes a schedule's communication to its makespan tasks:
+// per-task fetch volumes (summing to the traffic total) and consolidated
+// message counts.
+type TaskComm = traffic.TaskComm
+
 // Task is one node of a generic scheduled task DAG. The paper's Section 5
 // notes the methodology "can be generalized to computations that can be
 // represented as directed acyclic graphs"; the simulation machinery is
@@ -241,6 +253,36 @@ func (s *System) StrategyTraffic(opts StrategyOptions, sc *Schedule) *TrafficRes
 // otherwise.
 func (s *System) StrategyMakespan(opts StrategyOptions, sc *Schedule) MakespanResult {
 	return strategy.Makespan(s.strategySys(), opts, sc)
+}
+
+// StrategyMakespanDynamic is StrategyMakespan with a dynamic
+// critical-path-priority ready queue on each processor.
+func (s *System) StrategyMakespanDynamic(opts StrategyOptions, sc *Schedule) MakespanResult {
+	return strategy.MakespanDynamic(s.strategySys(), opts, sc)
+}
+
+// StrategyMakespanComm simulates dependency-delay execution of a strategy
+// schedule with communication-aware task durations: each task is charged
+// its compute work plus cm's cost for the non-local elements and messages
+// StrategyFetchStats attributes to it. With a zero CommModel the result is
+// identical to StrategyMakespan, which unifies the paper's traffic and
+// load-balance metrics into one regression-testable time estimate.
+func (s *System) StrategyMakespanComm(opts StrategyOptions, sc *Schedule, cm CommModel) MakespanResult {
+	return strategy.MakespanComm(s.strategySys(), opts, sc, cm)
+}
+
+// StrategyMakespanCommDynamic is StrategyMakespanComm with a dynamic ready
+// queue; with a zero CommModel it is identical to StrategyMakespanDynamic.
+func (s *System) StrategyMakespanCommDynamic(opts StrategyOptions, sc *Schedule, cm CommModel) MakespanResult {
+	return strategy.MakespanCommDynamic(s.strategySys(), opts, sc, cm)
+}
+
+// StrategyFetchStats attributes the schedule's non-local fetches to its
+// makespan tasks (per unit block or per column): fetch volumes summing
+// exactly to StrategyTraffic(...).Total, and consolidated message counts
+// (one message per distinct source processor feeding a task).
+func (s *System) StrategyFetchStats(opts StrategyOptions, sc *Schedule) *TaskComm {
+	return strategy.FetchStats(s.strategySys(), opts, sc)
 }
 
 // RefineSchedule runs the refine strategy's greedy improvement pass on an

@@ -273,3 +273,55 @@ func TestTrafficPartConsistentWhenUnrelaxed(t *testing.T) {
 		t.Fatalf("Traffic %d != TrafficPart %d on unrelaxed partition", a.Total, b.Total)
 	}
 }
+
+// TestCommMakespanPublicAPI exercises the communication-aware makespan
+// surface end to end: a zero CommModel reproduces the compute-only
+// simulators exactly, fetch stats conserve the traffic total, and with
+// communication charged (alpha > 0) the block scheme beats wrap in
+// unified time at large P — the paper's central claim, which neither
+// metric shows alone.
+func TestCommMakespanPublicAPI(t *testing.T) {
+	sys, err := repro.Analyze(repro.LAP30())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := repro.StrategyOptions{Part: repro.PartitionOptions{Grain: 25, MinClusterWidth: 4}}
+	cm := repro.CommModel{Alpha: 2, Beta: 10}
+	spans := map[string]map[string]int64{} // strategy -> {"compute","comm"} at P=32
+	for _, name := range []string{"block", "wrap"} {
+		for _, p := range []int{1, 4, 16, 32} {
+			sc, err := sys.MapStrategy(name, p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := sys.StrategyMakespanComm(opts, sc, repro.CommModel{}), sys.StrategyMakespan(opts, sc); got != want {
+				t.Errorf("%s P=%d: zero-model static %+v != compute-only %+v", name, p, got, want)
+			}
+			if got, want := sys.StrategyMakespanCommDynamic(opts, sc, repro.CommModel{}), sys.StrategyMakespanDynamic(opts, sc); got != want {
+				t.Errorf("%s P=%d: zero-model dynamic %+v != compute-only %+v", name, p, got, want)
+			}
+			tc := sys.StrategyFetchStats(opts, sc)
+			if got, want := tc.TotalVol(), sys.StrategyTraffic(opts, sc).Total; got != want {
+				t.Errorf("%s P=%d: fetch volumes sum to %d, traffic total %d", name, p, got, want)
+			}
+			if p == 32 {
+				spans[name] = map[string]int64{
+					"compute": sys.StrategyMakespanDynamic(opts, sc).Makespan,
+					"comm":    sys.StrategyMakespanCommDynamic(opts, sc, cm).Makespan,
+				}
+			}
+		}
+	}
+	if spans["block"]["comm"] >= spans["wrap"]["comm"] {
+		t.Errorf("P=32 unified time: block %d >= wrap %d, want block to win once communication is charged",
+			spans["block"]["comm"], spans["wrap"]["comm"])
+	}
+	// Charging communication must widen block's advantage relative to the
+	// compute-only spans (wrap pays for its scattered fetches).
+	commRatio := float64(spans["wrap"]["comm"]) / float64(spans["block"]["comm"])
+	computeRatio := float64(spans["wrap"]["compute"]) / float64(spans["block"]["compute"])
+	if commRatio <= computeRatio {
+		t.Errorf("comm model did not widen block's advantage: wrap/block ratio %.3f (comm) vs %.3f (compute)",
+			commRatio, computeRatio)
+	}
+}
