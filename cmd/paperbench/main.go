@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 
 	"repro/internal/exec"
@@ -25,6 +26,10 @@ func main() {
 	alpha := flag.Float64("alpha", 2, "comm model: work units per fetched element (unified table)")
 	beta := flag.Float64("beta", 10, "comm model: work units per received message (unified table)")
 	flag.Parse()
+	// !(x >= 0) also rejects NaN, which a plain x < 0 lets through.
+	if !(*alpha >= 0) || !(*beta >= 0) || math.IsInf(*alpha, 0) || math.IsInf(*beta, 0) {
+		log.Fatalf("invalid comm model: alpha=%g beta=%g (both must be finite and >= 0)", *alpha, *beta)
+	}
 
 	ps, err := tables.LoadSuite()
 	if err != nil {

@@ -10,6 +10,7 @@
 //	sweep -kind width    -matrix LAP30 -procs 16 > width.csv
 //	sweep -kind strategy -matrix LAP30 -procs 16 > strategy.csv
 //	sweep -kind strategy -strategy contiguous -matrix LAP30 -procs 16
+//	sweep -kind strategy -strategy refine -objective commspan -alpha 2 -beta 10
 //	sweep -kind comm     -matrix LAP30 -alpha 2 -beta 10 > comm.csv
 //	sweep -kind all      -out data/         # every series for every matrix
 package main
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -43,11 +45,26 @@ func main() {
 		procs  = flag.Int("procs", 16, "processors (grain, width and strategy sweeps)")
 		grain  = flag.Int("grain", 25, "grain size (procs, width and strategy sweeps)")
 		strat  = flag.String("strategy", "", "restrict the strategy sweep to one registered strategy (default all: "+strings.Join(repro.Strategies(), ", ")+")")
+		obj    = flag.String("objective", "", "refine objective for the refine strategy (one of: "+strings.Join(repro.RefineObjectives(), ", ")+"; default imbalance)")
 		out    = flag.String("out", "", "output directory for -kind all (default stdout for single series)")
-		alpha  = flag.Float64("alpha", 2, "comm model: work units per fetched element (comm sweep)")
-		beta   = flag.Float64("beta", 10, "comm model: work units per received message (comm sweep)")
+		alpha  = flag.Float64("alpha", 2, "comm model: work units per fetched element (comm sweep, commspan objective)")
+		beta   = flag.Float64("beta", 10, "comm model: work units per received message (comm sweep, commspan objective)")
 	)
 	flag.Parse()
+	// !(x >= 0) also rejects NaN, which a plain x < 0 lets through.
+	if !(*alpha >= 0) || !(*beta >= 0) || math.IsInf(*alpha, 0) || math.IsInf(*beta, 0) {
+		log.Fatalf("invalid comm model: alpha=%g beta=%g (both must be finite and >= 0)", *alpha, *beta)
+	}
+	if *obj != "" {
+		known := false
+		for _, o := range repro.RefineObjectives() {
+			known = known || o == *obj
+		}
+		if !known {
+			log.Fatalf("unknown refine objective %q (want %s)",
+				*obj, strings.Join(repro.RefineObjectives(), ", "))
+		}
+	}
 	cm := repro.CommModel{Alpha: *alpha, Beta: *beta}
 
 	if *kind == "all" {
@@ -64,7 +81,7 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat, cm); err != nil {
+				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat, *obj, cm); err != nil {
 					log.Fatal(err)
 				}
 				if err := f.Close(); err != nil {
@@ -75,12 +92,12 @@ func main() {
 		}
 		return
 	}
-	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat, cm); err != nil {
+	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat, *obj, cm); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat string, cm repro.CommModel) error {
+func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, obj string, cm repro.CommModel) error {
 	m, _, err := repro.BuildMatrix(matrix)
 	if err != nil {
 		return err
@@ -157,7 +174,9 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat str
 			names = []string{strat}
 		}
 		opts := repro.StrategyOptions{
-			Part: repro.PartitionOptions{Grain: grain, MinClusterWidth: 4},
+			Part:      repro.PartitionOptions{Grain: grain, MinClusterWidth: 4},
+			Objective: obj,
+			Comm:      cm,
 		}
 		for _, name := range names {
 			sc, err := sys.MapStrategy(name, procs, opts)
@@ -183,7 +202,9 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat str
 			names = []string{strat}
 		}
 		opts := repro.StrategyOptions{
-			Part: repro.PartitionOptions{Grain: grain, MinClusterWidth: 4},
+			Part:      repro.PartitionOptions{Grain: grain, MinClusterWidth: 4},
+			Objective: obj,
+			Comm:      cm,
 		}
 		for _, name := range names {
 			for _, p := range procsSweep {

@@ -4,10 +4,11 @@
 // the choice into a registry so any number of schemes produce ordinary
 // schedules that the traffic, load-balance and makespan simulators
 // evaluate unchanged. This example maps LAP30 on 16 processors with every
-// registered strategy, then shows the two composition knobs: the
-// blockcyclic block-size sweep (interpolating from wrap to contiguous
-// locality) and the refine pass stacked on different bases and
-// objectives.
+// registered strategy, then shows the composition knobs: the blockcyclic
+// block-size sweep (interpolating from wrap to contiguous locality), the
+// refine pass stacked on different bases (including the new
+// subtree-to-subcube mapper), and a refine pass driven directly by the
+// unified comm-aware dynamic makespan (objective "commspan").
 package main
 
 import (
@@ -58,7 +59,7 @@ func main() {
 	fmt.Printf("\nrefine composed on each base (objective = imbalance, then traffic):\n\n")
 	fmt.Printf("%-14s %16s %16s %16s\n",
 		"base", "base A/traffic", "refined A", "refined traffic")
-	for _, base := range []string{"block", "wrap", "contiguous", "blockcyclic"} {
+	for _, base := range []string{"block", "wrap", "contiguous", "blockcyclic", "subcube"} {
 		baseSc, err := sys.MapStrategy(base, procs, opts)
 		if err != nil {
 			log.Fatal(err)
@@ -79,4 +80,26 @@ func main() {
 			base, baseSc.Imbalance(), sys.StrategyTraffic(opts, baseSc).Total,
 			balanced.Imbalance(), sys.StrategyTraffic(ot, lean).Total)
 	}
+
+	// The commspan objective hill-climbs the unified comm-aware dynamic
+	// span itself — the single number in which traffic, latency, balance
+	// and dependency structure all interact.
+	cm := repro.CommModel{Alpha: 2, Beta: 10}
+	fmt.Printf("\nrefine(block, commspan) under alpha=%g beta=%g:\n\n", cm.Alpha, cm.Beta)
+	oc := opts
+	oc.Base = "block"
+	oc.Objective = "commspan"
+	oc.Comm = cm
+	oc.MaxMoves = 200
+	baseSc, err := sys.MapStrategy("block", procs, oc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refined, err := sys.MapStrategy("refine", procs, oc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %16s\n", "schedule", "unified span")
+	fmt.Printf("%-14s %16d\n", "block", sys.StrategyMakespanCommDynamic(oc, baseSc, cm).Makespan)
+	fmt.Printf("%-14s %16d\n", "refined", sys.StrategyMakespanCommDynamic(oc, refined, cm).Makespan)
 }

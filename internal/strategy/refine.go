@@ -2,25 +2,59 @@ package strategy
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
+	"repro/internal/exec"
 	"repro/internal/sched"
 )
 
-// Default move caps for the two refinement objectives. Imbalance moves
-// cost O(P + units-on-source); traffic moves each re-run the traffic
-// simulation, so their budget is much smaller.
+// Default move caps for the refinement objectives. Imbalance moves cost
+// O(P + units-on-source); traffic moves each re-run the traffic
+// simulation, so their budget is much smaller; commspan moves each re-run
+// the fetch attribution plus the dynamic makespan simulation, the most
+// expensive evaluation of the three.
 const (
 	defaultImbalanceMoves = 1024
 	defaultTrafficMoves   = 64
+	defaultCommspanMoves  = 48
 )
+
+// objectiveFunc is one refinement objective: it improves sc in place by
+// moving movables between processors, never accepting a worsening move.
+type objectiveFunc func(sys *Sys, opts Options, sc *sched.Schedule, mv []movable, own []int32, maxMoves int)
+
+// objectives is the refinement-objective table; Refine derives both its
+// dispatch and its unknown-objective error message from it, so a new
+// objective registered here is automatically reachable and advertised.
+var objectives = map[string]objectiveFunc{
+	"imbalance": func(_ *Sys, _ Options, sc *sched.Schedule, mv []movable, own []int32, maxMoves int) {
+		refineImbalance(sc, mv, own, maxMoves)
+	},
+	"traffic":  refineTraffic,
+	"commspan": refineCommspan,
+}
+
+// Objectives returns the sorted names of the refinement objectives the
+// refine strategy accepts, derived from the objective table (so CLIs can
+// validate and advertise the set without hardcoding it).
+func Objectives() []string {
+	names := make([]string, 0, len(objectives))
+	for n := range objectives {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // refineMapper composes a greedy local-refinement pass on top of any base
 // strategy: it repeatedly moves one schedulable unit (a unit block for
 // block-granular bases, a column otherwise) between processors while the
 // move strictly improves the objective — the paper's load imbalance
-// factor A by default, or the simulated data traffic. The pass never
-// accepts a worsening move, so the refined schedule's objective is never
-// worse than the base schedule's.
+// factor A by default, the simulated data traffic, or the unified
+// comm-aware dynamic makespan. The pass never accepts a worsening move,
+// so the refined schedule's objective is never worse than the base
+// schedule's.
 type refineMapper struct{}
 
 func (refineMapper) Name() string { return "refine" }
@@ -61,14 +95,16 @@ func Refine(sys *Sys, opts Options, base *sched.Schedule) (*sched.Schedule, erro
 	if err != nil {
 		return nil, err
 	}
-	switch opts.Objective {
-	case "", "imbalance":
-		refineImbalance(sc, mv, own, opts.MaxMoves)
-	case "traffic":
-		refineTraffic(sys, opts, sc, mv, own, opts.MaxMoves)
-	default:
-		return nil, fmt.Errorf("strategy: unknown refine objective %q (want imbalance or traffic)", opts.Objective)
+	name := opts.Objective
+	if name == "" {
+		name = "imbalance"
 	}
+	obj, ok := objectives[name]
+	if !ok {
+		return nil, fmt.Errorf("strategy: unknown refine objective %q (want %s)",
+			opts.Objective, strings.Join(Objectives(), ", "))
+	}
+	obj(sys, opts, sc, mv, own, opts.MaxMoves)
 	return sc, nil
 }
 
@@ -152,12 +188,7 @@ func refineImbalance(sc *sched.Schedule, mv []movable, own []int32, maxMoves int
 		byProc[own[u]] = append(byProc[own[u]], u)
 	}
 	for moves := 0; moves < maxMoves; {
-		dst := int32(0)
-		for k := 1; k < p; k++ {
-			if sc.Work[k] < sc.Work[dst] {
-				dst = int32(k)
-			}
-		}
+		dst := int32(leastLoaded(sc.Work))
 		// Scan sources from most loaded down; the first source with an
 		// improving move takes it.
 		order := make([]int32, 0, p)
@@ -216,6 +247,41 @@ func refineImbalance(sc *sched.Schedule, mv []movable, own []int32, maxMoves int
 	}
 }
 
+// buildSuccs inverts the movables' predecessor lists: succs[u] holds the
+// movables reading from u, the other half of u's dependency neighborhood.
+func buildSuccs(mv []movable) [][]int32 {
+	succs := make([][]int32, len(mv))
+	for u := range mv {
+		for _, pr := range mv[u].preds {
+			succs[pr] = append(succs[pr], int32(u))
+		}
+	}
+	return succs
+}
+
+// pluralityOwner returns the processor owning the plurality of movable
+// u's dependency neighborhood (predecessors plus successors), defaulting
+// to u's current owner on a tie or an empty neighborhood. tally is a
+// caller-provided scratch vector of length P.
+func pluralityOwner(mv []movable, succs [][]int32, own []int32, u int, tally []int64) int32 {
+	for k := range tally {
+		tally[k] = 0
+	}
+	for _, pr := range mv[u].preds {
+		tally[own[pr]]++
+	}
+	for _, sx := range succs[u] {
+		tally[own[sx]]++
+	}
+	tgt := own[u]
+	for k := range tally {
+		if tally[k] > tally[tgt] {
+			tgt = int32(k)
+		}
+	}
+	return tgt
+}
+
 // refineTraffic tries moving each unit to the processor owning most of
 // its dependency neighborhood (predecessors and successors), keeping a
 // move only when the re-simulated total traffic strictly decreases.
@@ -225,13 +291,7 @@ func refineTraffic(sys *Sys, opts Options, sc *sched.Schedule, mv []movable, own
 	}
 	simulate := func() int64 { return Traffic(sys, opts, sc).Total }
 	cur := simulate()
-	// Neighborhood = predecessors plus successors (units reading from u).
-	succs := make([][]int32, len(mv))
-	for u := range mv {
-		for _, pr := range mv[u].preds {
-			succs[pr] = append(succs[pr], int32(u))
-		}
-	}
+	succs := buildSuccs(mv)
 	tally := make([]int64, sc.P)
 	moves := 0
 	for {
@@ -243,21 +303,7 @@ func refineTraffic(sys *Sys, opts Options, sc *sched.Schedule, mv []movable, own
 			if mv[u].work == 0 && len(mv[u].elems) == 0 {
 				continue
 			}
-			for k := range tally {
-				tally[k] = 0
-			}
-			for _, pr := range mv[u].preds {
-				tally[own[pr]]++
-			}
-			for _, sx := range succs[u] {
-				tally[own[sx]]++
-			}
-			tgt := own[u]
-			for k := range tally {
-				if tally[k] > tally[tgt] {
-					tgt = int32(k)
-				}
-			}
+			tgt := pluralityOwner(mv, succs, own, u, tally)
 			if tgt == own[u] {
 				continue
 			}
@@ -269,6 +315,70 @@ func refineTraffic(sys *Sys, opts Options, sc *sched.Schedule, mv []movable, own
 				improved = true
 			} else {
 				move(sc, mv, own, u, src)
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// refineCommspan hill-climbs the unified comm-aware dynamic makespan
+// (the span of strategy.MakespanCommDynamic under opts.Comm): for each
+// unit it tries the processor owning the plurality of its dependency
+// neighborhood and the least-loaded processor, keeping a move only when
+// the re-evaluated span strictly decreases. The task graph's topology and
+// compute work never change across moves, so it is built once; each trial
+// still re-runs the full fetch attribution (traffic.FetchStats over the
+// updated ownership) and the list simulation, which is why
+// defaultCommspanMoves is the smallest budget of the three objectives. A
+// rejected trial is reverted, so the returned schedule's span never
+// exceeds the input's.
+func refineCommspan(sys *Sys, opts Options, sc *sched.Schedule, mv []movable, own []int32, maxMoves int) {
+	if maxMoves <= 0 {
+		maxMoves = defaultCommspanMoves
+	}
+	if sc.P < 2 {
+		return
+	}
+	tasks := Tasks(sys, opts, sc)
+	eval := func() int64 {
+		tc := FetchStats(sys, opts, sc)
+		return exec.SimulateMakespanDynamicComm(tasks, sc.P, opts.Comm, tc.Vol, tc.Msgs).Makespan
+	}
+	cur := eval()
+	succs := buildSuccs(mv)
+	tally := make([]int64, sc.P)
+	moves := 0
+	for {
+		improved := false
+		for u := range mv {
+			if moves >= maxMoves {
+				return
+			}
+			if mv[u].work == 0 && len(mv[u].elems) == 0 {
+				continue
+			}
+			near := pluralityOwner(mv, succs, own, u, tally)
+			idle := int32(leastLoaded(sc.Work))
+			for ci, tgt := range [...]int32{near, idle} {
+				src := own[u]
+				if tgt == src || (ci == 1 && tgt == near) {
+					continue
+				}
+				move(sc, mv, own, u, tgt)
+				tasks[u].Proc = tgt
+				moves++
+				if t := eval(); t < cur {
+					cur = t
+					improved = true
+					break
+				}
+				move(sc, mv, own, u, src)
+				tasks[u].Proc = src
+				if moves >= maxMoves {
+					return
+				}
 			}
 		}
 		if !improved {

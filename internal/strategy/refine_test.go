@@ -1,12 +1,14 @@
 package strategy
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/gen"
 )
 
-var refineBases = []string{"block", "blockgreedy", "wrap", "contiguous", "blockcyclic"}
+var refineBases = []string{"block", "blockgreedy", "wrap", "contiguous", "blockcyclic", "subcube"}
 
 // TestRefineNeverWorsensImbalance: with the imbalance objective, the
 // refined schedule's maximum per-processor work (hence the paper's A)
@@ -114,6 +116,106 @@ func TestRefineLeavesBaseUntouched(t *testing.T) {
 	}
 }
 
+// TestRefineNeverWorsensCommspan: with the commspan objective, the
+// refined schedule's unified comm-aware dynamic span never exceeds the
+// base schedule's, for every base strategy — the analogue of the
+// imbalance and traffic monotonicity guarantees for the objective that
+// minimizes the unified time estimate directly.
+func TestRefineNeverWorsensCommspan(t *testing.T) {
+	sys := newTestSys(t, gen.Grid9(8, 8))
+	cm := exec.CommModel{Alpha: 2, Beta: 10}
+	for _, base := range refineBases {
+		opts := Options{Base: base, Objective: "commspan", Comm: cm}
+		const p = 4
+		baseSc, err := Map(base, sys, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Map("refine", sys, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseSpan := MakespanCommDynamic(sys, opts, baseSc, cm).Makespan
+		refSpan := MakespanCommDynamic(sys, opts, ref, cm).Makespan
+		if refSpan > baseSpan {
+			t.Errorf("refine(%s, commspan) P=%d: span %d > base %d", base, p, refSpan, baseSpan)
+		}
+		checkSchedule(t, sys, ref, "refine-commspan/"+base, p)
+	}
+}
+
+// TestRefineCommspanImproves: on a mapping with scattered communication
+// the commspan objective must actually lower the unified span, not just
+// not raise it.
+func TestRefineCommspanImproves(t *testing.T) {
+	sys := newTestSys(t, gen.Grid9(10, 10))
+	cm := exec.CommModel{Alpha: 2, Beta: 10}
+	opts := Options{Base: "wrap", Objective: "commspan", Comm: cm, MaxMoves: 200}
+	const p = 8
+	baseSc, err := Map("wrap", sys, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Map("refine", sys, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSpan := MakespanCommDynamic(sys, opts, baseSc, cm).Makespan
+	refSpan := MakespanCommDynamic(sys, opts, ref, cm).Makespan
+	if refSpan >= baseSpan {
+		t.Errorf("refine(wrap, commspan) P=%d: span %d did not improve on base %d",
+			p, refSpan, baseSpan)
+	}
+}
+
+// TestRefineCommspanZeroModel: with a zero Comm model the commspan
+// objective degenerates to minimizing the compute-only dynamic span, and
+// the monotonicity guarantee must still hold.
+func TestRefineCommspanZeroModel(t *testing.T) {
+	sys := newTestSys(t, gen.Grid9(8, 8))
+	opts := Options{Base: "wrap", Objective: "commspan"}
+	const p = 4
+	baseSc, err := Map("wrap", sys, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Map("refine", sys, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, base := MakespanDynamic(sys, opts, ref).Makespan, MakespanDynamic(sys, opts, baseSc).Makespan; got > base {
+		t.Errorf("refine(wrap, commspan, zero model): dynamic span %d > base %d", got, base)
+	}
+}
+
+// TestRefineCommspanRefineSchedule covers the public Refine entry point
+// (repro's RefineSchedule): refining an existing schedule in place of a
+// base-strategy re-run, the unified span never worsens and the input is
+// left untouched.
+func TestRefineCommspanRefineSchedule(t *testing.T) {
+	sys := newTestSys(t, gen.Grid9(8, 8))
+	cm := exec.CommModel{Alpha: 1, Beta: 5}
+	opts := Options{Objective: "commspan", Comm: cm}
+	const p = 4
+	baseSc, err := Map("block", sys, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]int32(nil), baseSc.ElemProc...)
+	ref, err := Refine(sys, opts, baseSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, base := MakespanCommDynamic(sys, opts, ref, cm).Makespan, MakespanCommDynamic(sys, opts, baseSc, cm).Makespan; got > base {
+		t.Errorf("Refine(commspan): span %d > input %d", got, base)
+	}
+	for q := range before {
+		if baseSc.ElemProc[q] != before[q] {
+			t.Fatalf("Refine(commspan) mutated its input at element %d", q)
+		}
+	}
+}
+
 func TestRefineErrors(t *testing.T) {
 	sys := newTestSys(t, gen.Grid5(4, 4))
 	if _, err := Map("refine", sys, 4, Options{Base: "refine"}); err == nil {
@@ -122,7 +224,16 @@ func TestRefineErrors(t *testing.T) {
 	if _, err := Map("refine", sys, 4, Options{Base: "no-such"}); err == nil {
 		t.Error("refine with unknown base succeeded, want error")
 	}
-	if _, err := Map("refine", sys, 4, Options{Objective: "bogus"}); err == nil {
-		t.Error("refine with unknown objective succeeded, want error")
+	_, err := Map("refine", sys, 4, Options{Objective: "bogus"})
+	if err == nil {
+		t.Fatal("refine with unknown objective succeeded, want error")
+	}
+	// The error must advertise the actual objective set (derived from the
+	// objective table, not a hardcoded list), so new objectives such as
+	// commspan appear automatically.
+	for _, want := range Objectives() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-objective error %q does not list objective %q", err, want)
+		}
 	}
 }

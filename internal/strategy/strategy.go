@@ -10,7 +10,7 @@
 // sched.Schedule, so the existing simulators evaluate any registered
 // scheme unchanged.
 //
-// Six strategies ship with the registry:
+// Seven strategies ship with the registry:
 //
 //   - block: the paper's Section 3.4 unit-block allocation heuristic.
 //   - blockgreedy: its work-aware variant (every fallback decision picks
@@ -24,10 +24,16 @@
 //   - blockcyclic: column blocks of a tunable size dealt cyclically to
 //     processors, interpolating between wrap (block size 1) and
 //     contiguous-like locality (large blocks).
+//   - subcube: subtree-to-subcube allocation over the elimination tree
+//     (proportional mapping): the shared top separator columns are
+//     wrap-mapped across the whole processor set, which recursively splits
+//     over sibling subtrees proportionally to subtree work until single
+//     processors own whole subtrees.
 //   - refine: a greedy local-refinement pass (Pulp-style) over any base
 //     strategy's schedule, moving boundary units between processors while
 //     the move strictly improves the chosen objective — the paper's load
-//     imbalance factor A, or the simulated data traffic.
+//     imbalance factor A, the simulated data traffic, or the unified
+//     comm-aware dynamic makespan ("commspan").
 //
 // New strategies register themselves with Register (typically from an
 // init function) and immediately become available to the repro API,
@@ -131,12 +137,18 @@ type Options struct {
 	// from (empty selects "block").
 	Base string
 	// Objective selects what refine improves: "imbalance" (the paper's
-	// load-imbalance factor A; the default) or "traffic" (the simulated
-	// data traffic).
+	// load-imbalance factor A; the default), "traffic" (the simulated
+	// data traffic), or "commspan" (the unified comm-aware dynamic
+	// makespan under the Comm model).
 	Objective string
 	// MaxMoves caps the number of refinement moves considered (<= 0
 	// selects a per-objective default).
 	MaxMoves int
+	// Comm is the communication-time model the "commspan" refine
+	// objective minimizes the dynamic makespan under. The zero value
+	// charges nothing, making commspan minimize the compute-only dynamic
+	// span.
+	Comm exec.CommModel
 }
 
 // Mapper is one partitioning/mapping strategy. Map assigns the
@@ -205,6 +217,19 @@ func checkProcs(p int) error {
 		return fmt.Errorf("strategy: invalid processor count %d", p)
 	}
 	return nil
+}
+
+// leastLoaded returns the index of the smallest entry of load, ties to
+// the lowest index — the argmin scan the refinement passes and the
+// subcube packer share.
+func leastLoaded(load []int64) int {
+	best := 0
+	for i := 1; i < len(load); i++ {
+		if load[i] < load[best] {
+			best = i
+		}
+	}
+	return best
 }
 
 // columnSchedule derives a schedule from a column-to-processor assignment

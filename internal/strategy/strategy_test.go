@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/order"
 	"repro/internal/sched"
@@ -34,7 +35,7 @@ func (m testMapper) Map(*Sys, int, Options) (*sched.Schedule, error) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"block", "blockcyclic", "blockgreedy", "contiguous", "refine", "wrap"} {
+	for _, want := range []string{"block", "blockcyclic", "blockgreedy", "contiguous", "refine", "subcube", "wrap"} {
 		if _, ok := Lookup(want); !ok {
 			t.Errorf("Lookup(%q) = false, want registered", want)
 		}
@@ -137,6 +138,37 @@ func checkSchedule(t *testing.T, sys *Sys, sc *sched.Schedule, label string, p i
 	}
 	if e := sc.Efficiency(); e <= 0 || e > 1 {
 		t.Fatalf("%s P=%d: Efficiency() = %g outside (0, 1]", label, p, e)
+	}
+}
+
+// TestMoreProcsThanColumns is the P >= n regression test: every
+// registered strategy must return a well-formed schedule (surplus
+// processors simply idle) at P equal to, just above, and double the
+// column count — the regime where naive splits produce empty parts or
+// zero-width blocks. 2n exceeds 64 on the fixture, so the wide
+// (map-based) traffic and fetch-attribution paths are exercised too. The
+// usual invariants must keep holding: exact work conservation, in-range
+// owners, fetch volumes partitioning the traffic total, and a zero comm
+// model reproducing the compute-only dynamic simulation.
+func TestMoreProcsThanColumns(t *testing.T) {
+	sys := newTestSys(t, gen.Grid5(6, 6))
+	n := sys.F.N
+	for _, name := range Names() {
+		for _, p := range []int{n, n + 1, 2 * n} {
+			sc, err := Map(name, sys, p, Options{})
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", name, p, err)
+			}
+			checkSchedule(t, sys, sc, name+"/overprovisioned", p)
+			tc := FetchStats(sys, Options{}, sc)
+			if got, want := tc.TotalVol(), Traffic(sys, Options{}, sc).Total; got != want {
+				t.Errorf("%s P=%d: fetch volumes sum to %d, traffic total %d", name, p, got, want)
+			}
+			var zero exec.CommModel
+			if got, want := MakespanCommDynamic(sys, Options{}, sc, zero), MakespanDynamic(sys, Options{}, sc); got != want {
+				t.Errorf("%s P=%d: zero model dynamic %+v != compute-only %+v", name, p, got, want)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,63 @@
+package symbolic
+
+// Elimination-forest utilities shared by consumers that walk the tree as
+// a tree (rather than through the factor structure): the nested-dissection
+// aware subtree-to-subcube mapper of internal/strategy is the primary
+// client. All three functions accept any forest in the Parent convention
+// of EliminationTree (Parent[j] = parent of j, -1 for roots); none of them
+// assume the heap property parent[j] > j, so they also work on relabeled
+// or synthetic forests.
+
+// Roots returns the roots of the forest in increasing order.
+func Roots(parent []int) []int {
+	var roots []int
+	for j, p := range parent {
+		if p == -1 {
+			roots = append(roots, j)
+		}
+	}
+	return roots
+}
+
+// Children returns the children lists of the forest; Children(parent)[j]
+// holds the children of j in increasing order.
+func Children(parent []int) [][]int {
+	n := len(parent)
+	counts := make([]int, n)
+	for _, p := range parent {
+		if p != -1 {
+			counts[p]++
+		}
+	}
+	children := make([][]int, n)
+	for j, c := range counts {
+		if c > 0 {
+			children[j] = make([]int, 0, c)
+		}
+	}
+	for j, p := range parent {
+		if p != -1 {
+			children[p] = append(children[p], j)
+		}
+	}
+	return children
+}
+
+// SubtreeSums accumulates a per-node weight vector up the forest:
+// out[j] = weight[j] + sum of out[c] over the children c of j. For the
+// elimination tree with per-column work weights this is the paper's
+// subtree work — the quantity proportional mapping splits processor sets
+// by.
+func SubtreeSums(parent []int, weight []int64) []int64 {
+	if len(weight) != len(parent) {
+		panic("symbolic: SubtreeSums weight length does not match forest")
+	}
+	out := make([]int64, len(parent))
+	for _, j := range PostOrder(parent) {
+		out[j] += weight[j]
+		if p := parent[j]; p != -1 {
+			out[p] += out[j]
+		}
+	}
+	return out
+}

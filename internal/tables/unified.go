@@ -35,7 +35,8 @@ type UnifiedRow struct {
 }
 
 // UnifiedComm evaluates the named strategies (all registered ones when
-// names is nil or empty) across the processor sweep at the paper's
+// names is nil or empty, which includes registry additions such as
+// subcube automatically) across the processor sweep at the paper's
 // production partitioning (g=25) under one communication model.
 func UnifiedComm(p *Problem, procs []int, names []string, cm exec.CommModel) ([]UnifiedRow, error) {
 	if len(names) == 0 {

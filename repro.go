@@ -21,8 +21,10 @@
 //
 // Beyond the paper's two schemes, a pluggable strategy registry
 // (internal/strategy) maps the same factorization with contiguous
-// optimal-bottleneck column blocks, block-cyclic layouts, or a greedy
-// refinement pass over any base scheme:
+// optimal-bottleneck column blocks, block-cyclic layouts,
+// subtree-to-subcube allocation over the elimination tree, or a greedy
+// refinement pass over any base scheme (minimizing load imbalance, data
+// traffic, or the unified comm-aware dynamic makespan):
 //
 //	sc, _ := sys.MapStrategy("contiguous", 16, repro.StrategyOptions{})
 //	fmt.Println(sys.StrategyTraffic(repro.StrategyOptions{}, sc).Total)
@@ -219,9 +221,14 @@ func (s *System) WrapSchedule(p int) *Schedule {
 type StrategyOptions = strategy.Options
 
 // Strategies returns the sorted names of every registered partitioning
-// strategy (at least block, blockcyclic, blockgreedy, contiguous, refine
-// and wrap).
+// strategy (at least block, blockcyclic, blockgreedy, contiguous, refine,
+// subcube and wrap).
 func Strategies() []string { return strategy.Names() }
+
+// RefineObjectives returns the sorted names of the objectives the refine
+// strategy accepts (at least commspan, imbalance and traffic), derived
+// from the strategy package's objective table.
+func RefineObjectives() []string { return strategy.Objectives() }
 
 // strategySys lazily builds the strategy-subsystem view of this analysis,
 // sharing the already-computed ops and element work.
@@ -287,7 +294,8 @@ func (s *System) StrategyFetchStats(opts StrategyOptions, sc *Schedule) *TaskCom
 
 // RefineSchedule runs the refine strategy's greedy improvement pass on an
 // existing schedule without re-running its base strategy (opts selects
-// the objective and move budget; the input schedule is not modified).
+// the objective — imbalance, traffic, or commspan with opts.Comm as the
+// cost model — and the move budget; the input schedule is not modified).
 func (s *System) RefineSchedule(opts StrategyOptions, sc *Schedule) (*Schedule, error) {
 	return strategy.Refine(s.strategySys(), opts, sc)
 }
