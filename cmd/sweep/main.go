@@ -24,6 +24,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -55,16 +56,8 @@ func main() {
 	if !(*alpha >= 0) || !(*beta >= 0) || math.IsInf(*alpha, 0) || math.IsInf(*beta, 0) {
 		log.Fatalf("invalid comm model: alpha=%g beta=%g (both must be finite and >= 0)", *alpha, *beta)
 	}
-	if *obj != "" {
-		known := false
-		for _, o := range repro.RefineObjectives() {
-			known = known || o == *obj
-		}
-		if !known {
-			log.Fatalf("unknown refine objective %q (want %s)",
-				*obj, strings.Join(repro.RefineObjectives(), ", "))
-		}
-	}
+	validateChoice("strategy", *strat, repro.Strategies())
+	validateChoice("refine objective", *obj, repro.RefineObjectives())
 	cm := repro.CommModel{Alpha: *alpha, Beta: *beta}
 
 	if *kind == "all" {
@@ -95,6 +88,16 @@ func main() {
 	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat, *obj, cm); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// validateChoice fails fast (before any sweep work) when a flag value is
+// set but not among the registered choices, listing them — so an unknown
+// -strategy or -objective can't die mid-sweep after emitting partial CSV.
+func validateChoice(name, value string, choices []string) {
+	if value == "" || slices.Contains(choices, value) {
+		return
+	}
+	log.Fatalf("unknown %s %q (registered: %s)", name, value, strings.Join(choices, ", "))
 }
 
 func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, obj string, cm repro.CommModel) error {

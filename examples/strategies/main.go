@@ -6,9 +6,11 @@
 // evaluate unchanged. This example maps LAP30 on 16 processors with every
 // registered strategy, then shows the composition knobs: the blockcyclic
 // block-size sweep (interpolating from wrap to contiguous locality), the
-// refine pass stacked on different bases (including the new
-// subtree-to-subcube mapper), and a refine pass driven directly by the
-// unified comm-aware dynamic makespan (objective "commspan").
+// work-slack sweep of the total-communication-optimal contigtotal
+// mapper, the refine pass stacked on different bases (including the
+// subtree-to-subcube, symmetric-rectilinear and contigtotal mappers),
+// and a refine pass driven directly by the unified comm-aware dynamic
+// makespan (objective "commspan").
 package main
 
 import (
@@ -56,10 +58,27 @@ func main() {
 			bs, sys.StrategyTraffic(o, sc).Total, sc.Imbalance())
 	}
 
+	// contigtotal is optimal by construction: among all contiguous splits
+	// whose bottleneck stays within (1 + slack) of the optimum, it picks
+	// the one with the smallest total traffic. Slack trades balance for
+	// communication explicitly.
+	fmt.Printf("\ncontigtotal work-slack sweep (0 = bottleneck-optimal splits only):\n\n")
+	fmt.Printf("%-14s %10s %12s\n", "slack", "traffic", "imbalance A")
+	for _, slack := range []float64{0, 0.05, 0.1, 0.25} {
+		o := opts
+		o.Slack = slack
+		sc, err := sys.MapStrategy("contigtotal", procs, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14g %10d %12.4f\n",
+			slack, sys.StrategyTraffic(o, sc).Total, sc.Imbalance())
+	}
+
 	fmt.Printf("\nrefine composed on each base (objective = imbalance, then traffic):\n\n")
 	fmt.Printf("%-14s %16s %16s %16s\n",
 		"base", "base A/traffic", "refined A", "refined traffic")
-	for _, base := range []string{"block", "wrap", "contiguous", "blockcyclic", "subcube"} {
+	for _, base := range []string{"block", "wrap", "contiguous", "contigtotal", "rectilinear", "blockcyclic", "subcube"} {
 		baseSc, err := sys.MapStrategy(base, procs, opts)
 		if err != nil {
 			log.Fatal(err)

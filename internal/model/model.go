@@ -24,6 +24,8 @@ type Ops struct {
 	F *symbolic.Factor
 	// rowCols[r] lists the columns k < r with L[r,k] != 0, increasing.
 	rowCols [][]int32
+	// rowPos[r][t] is the factor nonzero position of (r, rowCols[r][t]).
+	rowPos [][]int32
 }
 
 // NewOps prepares the operation enumerator for a factor structure.
@@ -36,20 +38,30 @@ func NewOps(f *symbolic.Factor) *Ops {
 		}
 	}
 	rows := make([][]int32, n)
+	pos := make([][]int32, n)
 	for i := range rows {
 		rows[i] = make([]int32, 0, counts[i])
+		pos[i] = make([]int32, 0, counts[i])
 	}
 	for j := 0; j < n; j++ {
-		for _, i := range f.Col(j)[1:] {
+		base := f.ColPtr[j]
+		for t, i := range f.Col(j)[1:] {
 			rows[i] = append(rows[i], int32(j))
+			pos[i] = append(pos[i], int32(base+1+t))
 		}
 	}
-	return &Ops{F: f, rowCols: rows}
+	return &Ops{F: f, rowCols: rows, rowPos: pos}
 }
 
 // RowCols returns the columns k < r with L[r,k] != 0 (the factor's row
 // structure), in increasing order. The slice aliases internal storage.
 func (o *Ops) RowCols(r int) []int32 { return o.rowCols[r] }
+
+// RowPositions returns, parallel to RowCols(r), the factor nonzero
+// positions of row r's off-diagonal entries: RowPositions(r)[t] is the
+// position of element (r, RowCols(r)[t]) in F.RowInd. The slice aliases
+// internal storage.
+func (o *Ops) RowPositions(r int) []int32 { return o.rowPos[r] }
 
 // Update is one element-level operation L[tgt] -= L[srcI]*L[srcJ], where
 // the fields are indices into the factor's nonzero array (positions in

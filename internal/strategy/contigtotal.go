@@ -1,0 +1,151 @@
+package strategy
+
+import (
+	"math"
+
+	"repro/internal/sched"
+	"repro/internal/traffic"
+)
+
+// contigTotalMapper assigns contiguous column blocks minimizing the
+// *total* communication volume — Ahrens (2020)'s other objective, the
+// complement of the bottleneck-optimal "contiguous" strategy. The work
+// constraint comes first: every block's work is bounded by
+// (1 + opts.Slack) times the optimal contiguous bottleneck B*, so the
+// mapper never trades away the load balance the bottleneck split would
+// achieve. Within that feasible set it solves, by dynamic programming
+// over candidate block boundaries, for the split whose simulated data
+// traffic (the paper's Section 4 fetch-on-first-use model) is minimal —
+// optimal by construction, not refined toward the objective.
+//
+// The cost oracle is traffic.ColumnRefs: a block fetches, per source
+// column k owned to its left, the trailing elements of k from the
+// block's first target row in struct(k) downward. Those per-cut volumes
+// sum exactly to traffic.Simulate's total for the resulting schedule
+// (regression-tested), which is what makes the DP's optimum the true
+// traffic optimum over all work-feasible contiguous splits.
+type contigTotalMapper struct{}
+
+func (contigTotalMapper) Name() string { return "contigtotal" }
+
+func (contigTotalMapper) Map(sys *Sys, p int, opts Options) (*sched.Schedule, error) {
+	if err := checkProcs(p); err != nil {
+		return nil, err
+	}
+	work := sys.ColumnWork()
+	bound := OptimalBottleneck(work, p)
+	if slack := opts.Slack; slack > 0 {
+		extra := slack * float64(bound)
+		if extra >= float64(math.MaxInt64)-float64(bound) {
+			bound = math.MaxInt64
+		} else {
+			bound += int64(extra)
+		}
+	}
+	refs := traffic.ColumnRefs(sys.Ops)
+	bounds := ContiguousSplitTotal(work, refs, p, bound)
+	return columnSchedule(sys, p, ownersFromBounds(sys.F.N, bounds)), nil
+}
+
+func init() { Register(contigTotalMapper{}) }
+
+// ContiguousSplitTotal partitions columns 0..n-1 into p contiguous
+// blocks minimizing the total communication volume of the induced
+// column schedule, subject to every block's work being at most maxWork.
+// refs is the fetch attribution of traffic.ColumnRefs over the same
+// factor the work vector came from; the minimized objective is the
+// exact data traffic of the paper's fetch-on-first-use model. The
+// boundaries come back in ContiguousSplit's format (length p+1,
+// bounds[0] = 0, bounds[p] = n, empty blocks allowed). It returns nil
+// when no partition into at most p blocks of work <= maxWork exists
+// (maxWork below OptimalBottleneck(work, p)); with maxWork >= B* a
+// solution always exists. It panics on p < 1, the shared contract of
+// the exported split helpers (see mustProcs).
+//
+// The DP runs over block end positions: dp[k][j] is the minimal total
+// volume of covering columns [0, j) with k blocks, with transitions
+// dp[k][j] = min over i of dp[k-1][i] + C(i, j) where C(i, j) is block
+// [i, j)'s fetch volume — for every source column k' < i whose structure
+// has a target in [i, j), the trailing volume of k' from the first such
+// target. C is evaluated incrementally per block start over the
+// work-feasible window, so time and memory stay near n^2/p per layer.
+func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork int64) []int {
+	mustProcs(p)
+	n := len(work)
+	bounds := make([]int, p+1)
+	bounds[p] = n
+	if n == 0 {
+		return bounds
+	}
+	pre := prefixWork(work)
+
+	// cost[i][j-i] = C(i, j) for j in [i, jmax(i)], where jmax(i) is the
+	// furthest end with block work pre[j]-pre[i] <= maxWork.
+	cost := make([][]int64, n+1)
+	cost[n] = []int64{0}
+	// seen[k'] == i+1 marks source column k' already charged to the block
+	// starting at i (epoch trick: no per-start reset).
+	seen := make([]int, n)
+	for i := 0; i < n; i++ {
+		jmax := i
+		for jmax < n && pre[jmax+1]-pre[i] <= maxWork {
+			jmax++
+		}
+		row := make([]int64, jmax-i+1)
+		var cur int64
+		for j := i + 1; j <= jmax; j++ {
+			x := j - 1 // column newly added to block [i, j)
+			for _, r := range refs[x] {
+				if int(r.Col) >= i {
+					continue // source inside the block: local
+				}
+				if seen[r.Col] == i+1 {
+					continue // already fetched for an earlier target
+				}
+				seen[r.Col] = i + 1
+				cur += r.Vol
+			}
+			row[j-i] = cur
+		}
+		cost[i] = row
+	}
+
+	const inf = math.MaxInt64 / 2
+	dp := make([]int64, n+1)
+	next := make([]int64, n+1)
+	par := make([][]int32, p+1)
+	for j := 1; j <= n; j++ {
+		dp[j] = inf
+	}
+	for k := 1; k <= p; k++ {
+		par[k] = make([]int32, n+1)
+		for j := 0; j <= n; j++ {
+			next[j] = inf
+			par[k][j] = -1
+		}
+		for i := 0; i <= n; i++ {
+			if dp[i] >= inf {
+				continue
+			}
+			row := cost[i]
+			for d, c := range row {
+				j := i + d
+				if cand := dp[i] + c; cand < next[j] {
+					next[j] = cand
+					par[k][j] = int32(i)
+				}
+			}
+		}
+		dp, next = next, dp
+	}
+	if dp[n] >= inf {
+		return nil
+	}
+	at := n
+	for k := p; k >= 1; k-- {
+		bounds[k] = at
+		at = int(par[k][at])
+	}
+	bounds[0] = 0
+	return bounds
+}

@@ -1,0 +1,192 @@
+package strategy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+	"repro/internal/traffic"
+)
+
+// forEachSplit enumerates every contiguous partition of n items into
+// exactly p (possibly empty) blocks, invoking fn with the boundary
+// vector (length p+1, bounds[0] = 0, bounds[p] = n). The slice is reused
+// across calls.
+func forEachSplit(n, p int, fn func(bounds []int)) {
+	bounds := make([]int, p+1)
+	bounds[p] = n
+	var rec func(k int)
+	rec = func(k int) {
+		if k == p {
+			if bounds[p-1] <= n {
+				fn(bounds)
+			}
+			return
+		}
+		for b := bounds[k-1]; b <= n; b++ {
+			bounds[k] = b
+			rec(k + 1)
+		}
+	}
+	rec(1)
+}
+
+func splitMaxWork(work []int64, bounds []int) int64 {
+	var m int64
+	for k := 0; k+1 < len(bounds); k++ {
+		var s int64
+		for j := bounds[k]; j < bounds[k+1]; j++ {
+			s += work[j]
+		}
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// randomPattern builds a random sparse symmetric pattern on n vertices:
+// a spanning path (so MMD sees one component) plus extra random edges.
+func randomPattern(t *testing.T, rng *rand.Rand, n int) *sparse.Matrix {
+	t.Helper()
+	var edges [][2]int
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{v - 1, v})
+	}
+	for e := 0; e < n; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	m, err := sparse.NewPattern(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetLaplacianValues(0.01)
+	return m
+}
+
+// TestContigTotalBruteForce verifies the DP against exhaustive
+// enumeration on small matrices (n <= 12): among all contiguous splits
+// whose bottleneck stays within the optimal bottleneck B*, the mapper's
+// schedule must attain the minimal simulated total traffic — and its own
+// DP objective must agree with the traffic simulator on that schedule.
+func TestContigTotalBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	matrices := []*sparse.Matrix{
+		gen.Grid5(3, 3),
+		gen.Grid5(3, 4),
+		gen.FEGrid5(2),
+	}
+	for trial := 0; trial < 12; trial++ {
+		matrices = append(matrices, randomPattern(t, rng, 4+rng.Intn(9))) // n in [4, 12]
+	}
+	for mi, m := range matrices {
+		sys := newTestSys(t, m)
+		n := sys.F.N
+		if n > 12 {
+			t.Fatalf("matrix %d: n = %d, want <= 12 for brute force", mi, n)
+		}
+		work := sys.ColumnWork()
+		for _, p := range []int{1, 2, 3, 4} {
+			bstar := OptimalBottleneck(work, p)
+			best := int64(-1)
+			forEachSplit(n, p, func(bounds []int) {
+				if splitMaxWork(work, bounds) > bstar {
+					return
+				}
+				sc := columnSchedule(sys, p, ownersFromBounds(n, bounds))
+				if tr := Traffic(sys, Options{}, sc).Total; best < 0 || tr < best {
+					best = tr
+				}
+			})
+			sc, err := Map("contigtotal", sys, p, Options{})
+			if err != nil {
+				t.Fatalf("matrix %d P=%d: %v", mi, p, err)
+			}
+			got := Traffic(sys, Options{}, sc).Total
+			if got != best {
+				t.Errorf("matrix %d P=%d: contigtotal traffic %d, exhaustive optimum %d",
+					mi, p, got, best)
+			}
+			if mw := sc.MaxWork(); mw > bstar {
+				t.Errorf("matrix %d P=%d: contigtotal bottleneck %d exceeds B* %d", mi, p, mw, bstar)
+			}
+			// The DP's internal objective must equal the simulator's total
+			// on the split it returns (oracle consistency).
+			refs := traffic.ColumnRefs(sys.Ops)
+			bounds := ContiguousSplitTotal(work, refs, p, bstar)
+			sc2 := columnSchedule(sys, p, ownersFromBounds(n, bounds))
+			if tr := Traffic(sys, Options{}, sc2).Total; tr != got {
+				t.Errorf("matrix %d P=%d: helper split traffic %d, mapper traffic %d", mi, p, tr, got)
+			}
+		}
+	}
+}
+
+// TestContigTotalLAP30Regression pins the headline property on the
+// paper's LAP30 problem: at every P the total-traffic-optimal split
+// communicates no more than the bottleneck-optimal one (it minimizes
+// over a feasible set containing it), while keeping the same optimal
+// bottleneck.
+func TestContigTotalLAP30Regression(t *testing.T) {
+	sys := newTestSys(t, gen.Lap30())
+	work := sys.ColumnWork()
+	for _, p := range []int{4, 16, 64} {
+		cont, err := Map("contiguous", sys, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot, err := Map("contigtotal", sys, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, tt := Traffic(sys, Options{}, cont).Total, Traffic(sys, Options{}, tot).Total
+		if tt > ct {
+			t.Errorf("P=%d: contigtotal traffic %d > contiguous %d", p, tt, ct)
+		}
+		bstar := OptimalBottleneck(work, p)
+		if mw := tot.MaxWork(); mw > bstar {
+			t.Errorf("P=%d: contigtotal bottleneck %d exceeds B* %d", p, mw, bstar)
+		}
+	}
+}
+
+// TestContigTotalSlackMonotone: widening the work-slack bound enlarges
+// the DP's feasible set, so the achieved traffic never increases.
+func TestContigTotalSlackMonotone(t *testing.T) {
+	sys := newTestSys(t, gen.Grid9(8, 8))
+	const p = 8
+	prev := int64(-1)
+	for _, slack := range []float64{0, 0.1, 0.25, 0.5} {
+		sc, err := Map("contigtotal", sys, p, Options{Slack: slack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := Traffic(sys, Options{}, sc).Total
+		if prev >= 0 && tr > prev {
+			t.Errorf("slack %g: traffic %d > traffic at smaller slack %d", slack, tr, prev)
+		}
+		prev = tr
+	}
+}
+
+// TestContiguousSplitTotalInfeasible: a work bound below the heaviest
+// single column makes covering impossible; the helper reports that with
+// a nil result instead of a malformed split.
+func TestContiguousSplitTotalInfeasible(t *testing.T) {
+	sys := newTestSys(t, gen.Grid5(3, 3))
+	work := sys.ColumnWork()
+	refs := traffic.ColumnRefs(sys.Ops)
+	var maxCol int64
+	for _, w := range work {
+		if w > maxCol {
+			maxCol = w
+		}
+	}
+	if bounds := ContiguousSplitTotal(work, refs, 3, maxCol-1); bounds != nil {
+		t.Errorf("infeasible bound returned %v, want nil", bounds)
+	}
+}

@@ -20,71 +20,35 @@ func (contiguousMapper) Map(sys *Sys, p int, opts Options) (*sched.Schedule, err
 		return nil, err
 	}
 	bounds := ContiguousSplit(sys.ColumnWork(), p)
-	owner := make([]int32, sys.F.N)
-	for k := 0; k < p; k++ {
-		for j := bounds[k]; j < bounds[k+1]; j++ {
-			owner[j] = int32(k)
-		}
-	}
-	return columnSchedule(sys, p, owner), nil
+	return columnSchedule(sys, p, ownersFromBounds(sys.F.N, bounds)), nil
 }
 
 // ContiguousSplit partitions items 0..n-1 into p contiguous blocks
 // minimizing the bottleneck (the maximum block work sum), returning the
 // block boundaries (length p+1, bounds[k] <= bounds[k+1], bounds[0] = 0,
-// bounds[p] = n; trailing blocks may be empty when p > n).
+// bounds[p] = n; trailing blocks may be empty when p > n). It panics on
+// p < 1, the shared contract of the exported split helpers (see
+// mustProcs); the mappers validate p and return an error instead.
 //
 // The optimal bottleneck B* is found by binary search over candidate
 // bottleneck values, each probed with a greedy feasibility scan over the
 // prefix work sums (can the items be covered by at most p blocks of sum
-// <= B?) — the near-linear-time probe scheme of Ahrens (2020). The
-// returned split is the greedy left-packed partition at B*, which attains
-// the optimum exactly.
+// <= B?) — the near-linear-time probe scheme of Ahrens (2020), shared
+// with OptimalBottleneck. The returned split is the greedy left-packed
+// partition at B*, which attains the optimum exactly.
 func ContiguousSplit(work []int64, p int) []int {
+	mustProcs(p)
 	n := len(work)
 	bounds := make([]int, p+1)
 	bounds[p] = n
-	if n == 0 || p == 0 {
-		for k := range bounds {
-			if k > 0 {
-				bounds[k] = n
-			}
-		}
+	if n == 0 {
 		return bounds
 	}
-	var lo, hi int64 // lo = max item (any block must hold it), hi = total
-	for _, w := range work {
-		if w > lo {
-			lo = w
-		}
-		hi += w
-	}
-	feasible := func(b int64) bool {
-		blocks, cur := 1, int64(0)
-		for _, w := range work {
-			if cur+w > b {
-				blocks++
-				if blocks > p {
-					return false
-				}
-				cur = 0
-			}
-			cur += w
-		}
-		return true
-	}
-	for lo < hi {
-		mid := lo + (hi-lo)/2
-		if feasible(mid) {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	// Greedy left-packing at the optimal bottleneck lo.
+	b := OptimalBottleneck(work, p)
+	// Greedy left-packing at the optimal bottleneck b.
 	k, cur := 0, int64(0)
 	for j, w := range work {
-		if cur+w > lo && k+1 < p {
+		if cur+w > b && k+1 < p {
 			k++
 			bounds[k] = j
 			cur = 0

@@ -10,7 +10,7 @@
 // sched.Schedule, so the existing simulators evaluate any registered
 // scheme unchanged.
 //
-// Seven strategies ship with the registry:
+// Nine strategies ship with the registry:
 //
 //   - block: the paper's Section 3.4 unit-block allocation heuristic.
 //   - blockgreedy: its work-aware variant (every fallback decision picks
@@ -21,6 +21,17 @@
 //     a greedy feasibility probe on prefix work sums, in the spirit of
 //     Ahrens, "Contiguous Graph Partitioning For Optimal Total Or
 //     Bottleneck Communication" (2020).
+//   - contigtotal: contiguous column blocks minimizing the *total*
+//     communication volume (Ahrens 2020's other objective) by dynamic
+//     programming over candidate boundaries with the fetch-attribution
+//     cost oracle of traffic.ColumnRefs, subject to every block's work
+//     staying within (1 + Options.Slack) of the optimal bottleneck.
+//   - rectilinear: symmetric rectilinear block partitioning (Yasar et
+//     al. 2020, "On Symmetric Rectilinear Matrix Partitioning"): one
+//     diagonal interval structure shared by rows and columns, found by
+//     binary search over a greedy probe that bounds the work of every
+//     induced 2D tile; each diagonal block's columns go to one
+//     processor, so the 1D schedule inherits the symmetric structure.
 //   - blockcyclic: column blocks of a tunable size dealt cyclically to
 //     processors, interpolating between wrap (block size 1) and
 //     contiguous-like locality (large blocks).
@@ -144,6 +155,12 @@ type Options struct {
 	// MaxMoves caps the number of refinement moves considered (<= 0
 	// selects a per-objective default).
 	MaxMoves int
+	// Slack is the relative work slack of the contigtotal strategy:
+	// every block's work is bounded by (1 + Slack) times the optimal
+	// contiguous bottleneck, so larger values widen the feasible set the
+	// total-traffic DP minimizes over (never increasing the optimum).
+	// Values <= 0 select 0, i.e. only bottleneck-optimal splits.
+	Slack float64
 	// Comm is the communication-time model the "commspan" refine
 	// objective minimizes the dynamic makespan under. The zero value
 	// charges nothing, making commspan minimize the compute-only dynamic
@@ -212,6 +229,9 @@ func Map(name string, sys *Sys, p int, opts Options) (*sched.Schedule, error) {
 	return m.Map(sys, p, opts)
 }
 
+// checkProcs is the error half of the processor-count contract: every
+// Mapper.Map validates p with it and returns the error, while the
+// exported low-level split helpers panic via mustProcs (see split.go).
 func checkProcs(p int) error {
 	if p < 1 {
 		return fmt.Errorf("strategy: invalid processor count %d", p)

@@ -35,7 +35,8 @@ func (m testMapper) Map(*Sys, int, Options) (*sched.Schedule, error) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"block", "blockcyclic", "blockgreedy", "contiguous", "refine", "subcube", "wrap"} {
+	for _, want := range []string{"block", "blockcyclic", "blockgreedy", "contiguous",
+		"contigtotal", "rectilinear", "refine", "subcube", "wrap"} {
 		if _, ok := Lookup(want); !ok {
 			t.Errorf("Lookup(%q) = false, want registered", want)
 		}
@@ -153,6 +154,16 @@ func checkSchedule(t *testing.T, sys *Sys, sc *sched.Schedule, label string, p i
 func TestMoreProcsThanColumns(t *testing.T) {
 	sys := newTestSys(t, gen.Grid5(6, 6))
 	n := sys.F.N
+	// The loop below covers every registered strategy, but the
+	// communication-optimal mappers are the ones whose splits degenerate
+	// to empty blocks here (contigtotal's DP and rectilinear's probe both
+	// pad trailing empty intervals); fail loudly if either ever
+	// unregisters rather than silently losing the regression.
+	for _, want := range []string{"contigtotal", "rectilinear"} {
+		if _, ok := Lookup(want); !ok {
+			t.Fatalf("strategy %q is not registered; the P >= n regression must cover it", want)
+		}
+	}
 	for _, name := range Names() {
 		for _, p := range []int{n, n + 1, 2 * n} {
 			sc, err := Map(name, sys, p, Options{})

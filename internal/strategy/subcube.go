@@ -1,7 +1,6 @@
 package strategy
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/sched"
@@ -38,11 +37,10 @@ func init() { Register(subcubeMapper{}) }
 // symbolic.EliminationTree) with per-column work weights. Every column
 // gets an owner in [0, p); with p greater than the number of columns the
 // surplus processors are simply left idle, which keeps the schedule well
-// formed at any scale. It panics on p < 1, like the sched mappers.
+// formed at any scale. It panics on p < 1, the shared contract of the
+// exported split helpers (see mustProcs).
 func SubcubeOwners(parent []int, colWork []int64, p int) []int32 {
-	if p < 1 {
-		panic(fmt.Sprintf("strategy: invalid processor count %d", p))
-	}
+	mustProcs(p)
 	children := symbolic.Children(parent)
 	sub := symbolic.SubtreeSums(parent, colWork)
 	owner := make([]int32, len(parent))

@@ -31,8 +31,9 @@ func (p *Problem) StrategySys() *strategy.Sys {
 // StrategyCompare evaluates every registered mapping strategy on every
 // problem and processor count with the paper's base partitioning knobs
 // (grain 25, the Tables 2-3 production setting). Strategies added through
-// strategy.Register — most recently the subtree-to-subcube
-// elimination-tree mapper — appear with no changes here.
+// strategy.Register — most recently the communication-optimal pair, the
+// symmetric rectilinear mapper and the total-traffic-optimal contiguous
+// split — appear with no changes here.
 func StrategyCompare(problems []*Problem, procs []int) ([]StrategyRow, error) {
 	opts := strategy.Options{Part: core.Options{Grain: 25, MinClusterWidth: DefaultWidth}}
 	var rows []StrategyRow

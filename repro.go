@@ -21,10 +21,12 @@
 //
 // Beyond the paper's two schemes, a pluggable strategy registry
 // (internal/strategy) maps the same factorization with contiguous
-// optimal-bottleneck column blocks, block-cyclic layouts,
-// subtree-to-subcube allocation over the elimination tree, or a greedy
-// refinement pass over any base scheme (minimizing load imbalance, data
-// traffic, or the unified comm-aware dynamic makespan):
+// optimal-bottleneck column blocks, total-communication-optimal
+// contiguous blocks (a work-bounded DP over cut boundaries), symmetric
+// rectilinear diagonal blocks shared by rows and columns, block-cyclic
+// layouts, subtree-to-subcube allocation over the elimination tree, or a
+// greedy refinement pass over any base scheme (minimizing load
+// imbalance, data traffic, or the unified comm-aware dynamic makespan):
 //
 //	sc, _ := sys.MapStrategy("contiguous", 16, repro.StrategyOptions{})
 //	fmt.Println(sys.StrategyTraffic(repro.StrategyOptions{}, sc).Total)
@@ -216,13 +218,13 @@ func (s *System) WrapSchedule(p int) *Schedule {
 
 // StrategyOptions carries the per-strategy knobs of the pluggable mapping
 // registry (partition grain/width for block-based strategies, block size
-// for blockcyclic, base strategy and objective for refine). The zero
-// value selects sensible defaults everywhere.
+// for blockcyclic, base strategy and objective for refine, work slack
+// for contigtotal). The zero value selects sensible defaults everywhere.
 type StrategyOptions = strategy.Options
 
 // Strategies returns the sorted names of every registered partitioning
-// strategy (at least block, blockcyclic, blockgreedy, contiguous, refine,
-// subcube and wrap).
+// strategy (at least block, blockcyclic, blockgreedy, contiguous,
+// contigtotal, rectilinear, refine, subcube and wrap).
 func Strategies() []string { return strategy.Names() }
 
 // RefineObjectives returns the sorted names of the objectives the refine
