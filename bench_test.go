@@ -232,6 +232,34 @@ func BenchmarkStrategyMap(b *testing.B) {
 	}
 }
 
+// BenchmarkMap2D measures every registered 2D tile mapper's Map2D on
+// LAP30 at P=16 (col2d lifting the wrap baseline), reporting the 2D
+// traffic total and tile-ownership imbalance each achieves. Together with
+// BenchmarkStrategyMap it keeps both registries' mapping costs on the
+// perf trajectory; the CI bench-smoke job compiles and runs both on every
+// push.
+func BenchmarkMap2D(b *testing.B) {
+	sys, err := repro.Analyze(repro.LAP30())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := repro.StrategyOptions{}
+	for _, name := range repro.Strategies2D() {
+		b.Run(name, func(b *testing.B) {
+			var s2 *repro.Schedule2D
+			for i := 0; i < b.N; i++ {
+				var err error
+				s2, err = sys.MapStrategy2D(name, 16, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sys.Traffic2D(s2).Total), "traffic2d")
+			b.ReportMetric(s2.Imbalance(), "imbalance-A")
+		})
+	}
+}
+
 // BenchmarkFullPipeline times the whole paper pipeline on LAP30:
 // generate, order, analyze, partition, schedule, simulate.
 func BenchmarkFullPipeline(b *testing.B) {

@@ -22,7 +22,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 	table := flag.String("table", "all",
-		"which table to regenerate: 1..5, makespan, partners, grain, relax, alloc, order, solve, dynamic, crossover, messages, commspan, unified, strategy, or all")
+		"which table to regenerate: 1..5, makespan, partners, grain, relax, alloc, order, solve, dynamic, crossover, messages, commspan, unified, strategy, tile2d, or all")
 	alpha := flag.Float64("alpha", 2, "comm model: work units per fetched element (unified table)")
 	beta := flag.Float64("beta", 10, "comm model: work units per received message (unified table)")
 	flag.Parse()
@@ -129,6 +129,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(tables.FormatStrategyCompare(rows))
+		printed = true
+	}
+	if show("tile2d") {
+		cm := exec.CommModel{Alpha: *alpha, Beta: *beta}
+		rows, err := tables.Tile2D(lap, tables.Tile2DProcs, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatTile2D("LAP30", cm, rows))
 		printed = true
 	}
 	if show("crossover") {

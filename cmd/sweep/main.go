@@ -12,6 +12,8 @@
 //	sweep -kind strategy -strategy contiguous -matrix LAP30 -procs 16
 //	sweep -kind strategy -strategy refine -objective commspan -alpha 2 -beta 10
 //	sweep -kind comm     -matrix LAP30 -alpha 2 -beta 10 > comm.csv
+//	sweep -kind tile2d   -matrix LAP30 -alpha 2 -beta 10 > tile2d.csv
+//	sweep -kind tile2d   -strategy col2d:rectilinear -matrix LAP30
 //	sweep -kind all      -out data/         # every series for every matrix
 package main
 
@@ -41,7 +43,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		kind   = flag.String("kind", "procs", "series: procs, grain, width, strategy, comm, or all")
+		kind   = flag.String("kind", "procs", "series: procs, grain, width, strategy, comm, tile2d, or all")
 		matrix = flag.String("matrix", "LAP30", "test matrix name")
 		procs  = flag.Int("procs", 16, "processors (grain, width and strategy sweeps)")
 		grain  = flag.Int("grain", 25, "grain size (procs, width and strategy sweeps)")
@@ -50,13 +52,21 @@ func main() {
 		out    = flag.String("out", "", "output directory for -kind all (default stdout for single series)")
 		alpha  = flag.Float64("alpha", 2, "comm model: work units per fetched element (comm sweep, commspan objective)")
 		beta   = flag.Float64("beta", 10, "comm model: work units per received message (comm sweep, commspan objective)")
+		beta2  = flag.Float64("beta2", 0, "contigtotal objective: weight of per-cut message counts next to volume")
 	)
 	flag.Parse()
 	// !(x >= 0) also rejects NaN, which a plain x < 0 lets through.
 	if !(*alpha >= 0) || !(*beta >= 0) || math.IsInf(*alpha, 0) || math.IsInf(*beta, 0) {
 		log.Fatalf("invalid comm model: alpha=%g beta=%g (both must be finite and >= 0)", *alpha, *beta)
 	}
-	validateChoice("strategy", *strat, repro.Strategies())
+	if !(*beta2 >= 0) || math.IsInf(*beta2, 0) {
+		log.Fatalf("invalid -beta2 %g (must be finite and >= 0)", *beta2)
+	}
+	if *kind == "tile2d" {
+		validateChoice("2D strategy", *strat, tile2dChoices())
+	} else {
+		validateChoice("strategy", *strat, repro.Strategies())
+	}
 	validateChoice("refine objective", *obj, repro.RefineObjectives())
 	cm := repro.CommModel{Alpha: *alpha, Beta: *beta}
 
@@ -68,13 +78,13 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, tm := range repro.TestMatrices() {
-			for _, k := range []string{"procs", "grain", "width", "strategy", "comm"} {
+			for _, k := range []string{"procs", "grain", "width", "strategy", "comm", "tile2d"} {
 				path := filepath.Join(*out, strings.ToLower(tm.Name)+"_"+k+".csv")
 				f, err := os.Create(path)
 				if err != nil {
 					log.Fatal(err)
 				}
-				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat, *obj, cm); err != nil {
+				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat, *obj, cm, *beta2); err != nil {
 					log.Fatal(err)
 				}
 				if err := f.Close(); err != nil {
@@ -85,7 +95,7 @@ func main() {
 		}
 		return
 	}
-	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat, *obj, cm); err != nil {
+	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat, *obj, cm, *beta2); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -100,7 +110,7 @@ func validateChoice(name, value string, choices []string) {
 	log.Fatalf("unknown %s %q (registered: %s)", name, value, strings.Join(choices, ", "))
 }
 
-func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, obj string, cm repro.CommModel) error {
+func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, obj string, cm repro.CommModel, beta2 float64) error {
 	m, _, err := repro.BuildMatrix(matrix)
 	if err != nil {
 		return err
@@ -180,6 +190,7 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, ob
 			Part:      repro.PartitionOptions{Grain: grain, MinClusterWidth: 4},
 			Objective: obj,
 			Comm:      cm,
+			Beta2:     beta2,
 		}
 		for _, name := range names {
 			sc, err := sys.MapStrategy(name, procs, opts)
@@ -208,6 +219,7 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, ob
 			Part:      repro.PartitionOptions{Grain: grain, MinClusterWidth: 4},
 			Objective: obj,
 			Comm:      cm,
+			Beta2:     beta2,
 		}
 		for _, name := range names {
 			for _, p := range procsSweep {
@@ -232,8 +244,54 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, ob
 				}
 			}
 		}
+	case "tile2d":
+		if err := row("strategy", "procs", "r", "traffic2d", "fanout", "fanin",
+			"imbalance", "span_compute", "span_comm", "span_comm_dynamic"); err != nil {
+			return err
+		}
+		for _, choice := range tile2dChoices() {
+			if strat != "" && choice != strat {
+				continue
+			}
+			name, opts := choice, repro.StrategyOptions{Beta2: beta2}
+			if base, ok := strings.CutPrefix(choice, "col2d:"); ok {
+				name, opts.Base = "col2d", base
+			}
+			for _, p := range procsSweep {
+				s2, err := sys.MapStrategy2D(name, p, opts)
+				if err != nil {
+					return err
+				}
+				tr := sys.Traffic2D(s2)
+				comp := sys.Makespan2DDynamic(s2)
+				cs := sys.Makespan2DComm(s2, cm)
+				cd := sys.Makespan2DCommDynamic(s2, cm)
+				if err := row(choice, strconv.Itoa(p), strconv.Itoa(s2.R()),
+					fmt.Sprint(tr.Total), fmt.Sprint(tr.TotalFanOut()), fmt.Sprint(tr.TotalFanIn()),
+					fmt.Sprintf("%.4f", s2.Imbalance()), fmt.Sprint(comp.Makespan),
+					fmt.Sprint(cs.Makespan), fmt.Sprint(cd.Makespan)); err != nil {
+					return err
+				}
+			}
+		}
 	default:
 		return fmt.Errorf("unknown series kind %q", kind)
 	}
 	return nil
+}
+
+// tile2dChoices enumerates the tile2d sweep's strategy axis: every native
+// 2D mapper (col2d excluded, it is parameterized) plus the col2d lift of
+// every column-granular 1D strategy, spelled "col2d:<base>".
+func tile2dChoices() []string {
+	var out []string
+	for _, name := range repro.Strategies2D() {
+		if name != "col2d" {
+			out = append(out, name)
+		}
+	}
+	for _, base := range repro.LiftBases2D() {
+		out = append(out, "col2d:"+base)
+	}
+	return out
 }

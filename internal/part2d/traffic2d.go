@@ -1,0 +1,111 @@
+package part2d
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/traffic"
+)
+
+// TrafficResult is the outcome of the 2D tile-granular data-traffic
+// simulation. The deduplication rule is exactly traffic.Simulate's — one
+// unit per distinct (processor, non-local element) first fetch — but each
+// fetch is additionally attributed to the tile of the target element that
+// first required it and classified by the direction it travels:
+//
+//   - FanOut: the fetched element is a pair-update source (i, k) whose
+//     tile shares the target tile's *row* block — the fan-out of panel
+//     column k's segment to the tile owners along block row block(i).
+//   - FanIn: the fetched element is a pair-update source (j, k) or the
+//     scaling diagonal (j, j), whose tile's row block equals the target
+//     tile's *column* block — data converging along the column of tiles of
+//     block column block(j), toward its diagonal-block owner.
+//
+// Every first fetch is classified exactly one way, so
+// sum(FanOut) + sum(FanIn) == Total == traffic.Simulate(ops,
+// s.Schedule()).Total — the 2D analogue of the traffic.ColumnRefs /
+// Simulate identity, pinned by the conservation tests.
+type TrafficResult struct {
+	P int
+	// R is the number of diagonal intervals of the schedule's tiling.
+	R int
+	// Total is the system-wide deduplicated data traffic.
+	Total int64
+	// FanOut[t] counts the row-direction fetches attributed to tile t
+	// (packed lower-triangle index, see TileID).
+	FanOut []int64
+	// FanIn[t] counts the column-direction fetches attributed to tile t.
+	FanIn []int64
+	// PerProc[p] is the traffic charged to processor p (its fetches).
+	PerProc []int64
+}
+
+// TotalFanOut sums the row-direction volumes over all tiles.
+func (r *TrafficResult) TotalFanOut() int64 { return sum(r.FanOut) }
+
+// TotalFanIn sums the column-direction volumes over all tiles.
+func (r *TrafficResult) TotalFanIn() int64 { return sum(r.FanIn) }
+
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the mean traffic per processor.
+func (r *TrafficResult) Mean() float64 { return float64(r.Total) / float64(r.P) }
+
+// Traffic runs the 2D tile-granular traffic simulation. The factor ops
+// must be built over the same symbolic factor the schedule was computed
+// from.
+func Traffic(ops *model.Ops, s *Schedule2D) *TrafficResult {
+	f := ops.F
+	nnz := f.NNZ()
+	if len(s.ElemProc) != nnz {
+		panic(fmt.Sprintf("part2d: schedule covers %d elements, factor has %d", len(s.ElemProc), nnz))
+	}
+	res := &TrafficResult{
+		P:       s.P,
+		R:       s.R(),
+		FanOut:  make([]int64, s.Tiles()),
+		FanIn:   make([]int64, s.Tiles()),
+		PerProc: make([]int64, s.P),
+	}
+	// tileOf maps a factor nonzero to its packed tile index.
+	colOf := make([]int32, nnz)
+	for j := 0; j < f.N; j++ {
+		for q := f.ColPtr[j]; q < f.ColPtr[j+1]; q++ {
+			colOf[q] = int32(j)
+		}
+	}
+	tileOf := func(q int32) int {
+		return TileID(int(s.BlockOf[f.RowInd[q]]), int(s.BlockOf[colOf[q]]))
+	}
+	fetched := traffic.NewFetchDedup(s.P, nnz)
+	access := func(elem, tgt int32, fanOut bool) {
+		proc := s.ElemProc[tgt]
+		if s.ElemProc[elem] == proc || !fetched.FirstFetch(elem, proc) {
+			return
+		}
+		res.Total++
+		res.PerProc[proc]++
+		if fanOut {
+			res.FanOut[tileOf(tgt)]++
+		} else {
+			res.FanIn[tileOf(tgt)]++
+		}
+	}
+	ops.ForEachUpdate(func(u model.Update) {
+		// Source (i, k) sits in tile (block(i), block(k)) — the target's
+		// row of tiles; source (j, k) sits in tile (block(j), block(k)) —
+		// the target's column of tiles.
+		access(u.SrcI, u.Tgt, true)
+		access(u.SrcJ, u.Tgt, false)
+	})
+	ops.ForEachScale(func(tgt, diag int32) {
+		access(diag, tgt, false)
+	})
+	return res
+}

@@ -24,6 +24,11 @@ import (
 // sum exactly to traffic.Simulate's total for the resulting schedule
 // (regression-tested), which is what makes the DP's optimum the true
 // traffic optimum over all work-feasible contiguous splits.
+//
+// Options.Beta2 mixes the per-cut message counts into the objective
+// (volume + Beta2 x messages, one message per distinct source column a
+// block fetches across its left cut), trading volume for message
+// consolidation; the optimum's message count never increases with Beta2.
 type contigTotalMapper struct{}
 
 func (contigTotalMapper) Name() string { return "contigtotal" }
@@ -42,34 +47,46 @@ func (contigTotalMapper) Map(sys *Sys, p int, opts Options) (*sched.Schedule, er
 			bound += int64(extra)
 		}
 	}
+	beta2 := opts.Beta2
+	if beta2 < 0 {
+		beta2 = 0
+	}
 	refs := traffic.ColumnRefs(sys.Ops)
-	bounds := ContiguousSplitTotal(work, refs, p, bound)
+	bounds := ContiguousSplitTotal(work, refs, p, bound, beta2)
 	return columnSchedule(sys, p, ownersFromBounds(sys.F.N, bounds)), nil
 }
 
 func init() { Register(contigTotalMapper{}) }
 
 // ContiguousSplitTotal partitions columns 0..n-1 into p contiguous
-// blocks minimizing the total communication volume of the induced
-// column schedule, subject to every block's work being at most maxWork.
-// refs is the fetch attribution of traffic.ColumnRefs over the same
-// factor the work vector came from; the minimized objective is the
-// exact data traffic of the paper's fetch-on-first-use model. The
-// boundaries come back in ContiguousSplit's format (length p+1,
-// bounds[0] = 0, bounds[p] = n, empty blocks allowed). It returns nil
-// when no partition into at most p blocks of work <= maxWork exists
+// blocks minimizing the communication of the induced column schedule,
+// subject to every block's work being at most maxWork. refs is the fetch
+// attribution of traffic.ColumnRefs over the same factor the work vector
+// came from; the minimized objective is volume + beta2 x messages, where
+// the volume is the exact data traffic of the paper's fetch-on-first-use
+// model and a block receives one message per distinct source column it
+// fetches across its left cut. beta2 = 0 (the classical objective)
+// minimizes pure volume; beta2 > 0 trades volume for message
+// consolidation, and the optimal split's message count is non-increasing
+// in beta2 (the scalarization exchange argument the regression test
+// pins). The boundaries come back in ContiguousSplit's format (length
+// p+1, bounds[0] = 0, bounds[p] = n, empty blocks allowed). It returns
+// nil when no partition into at most p blocks of work <= maxWork exists
 // (maxWork below OptimalBottleneck(work, p)); with maxWork >= B* a
 // solution always exists. It panics on p < 1, the shared contract of
 // the exported split helpers (see mustProcs).
 //
 // The DP runs over block end positions: dp[k][j] is the minimal total
-// volume of covering columns [0, j) with k blocks, with transitions
+// objective of covering columns [0, j) with k blocks, with transitions
 // dp[k][j] = min over i of dp[k-1][i] + C(i, j) where C(i, j) is block
-// [i, j)'s fetch volume — for every source column k' < i whose structure
-// has a target in [i, j), the trailing volume of k' from the first such
-// target. C is evaluated incrementally per block start over the
-// work-feasible window, so time and memory stay near n^2/p per layer.
-func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork int64) []int {
+// [i, j)'s fetch objective — for every source column k' < i whose
+// structure has a target in [i, j), the trailing volume of k' from the
+// first such target plus beta2 for the message. C is evaluated
+// incrementally per block start over the work-feasible window, so time
+// and memory stay near n^2/p per layer. Costs are held in float64;
+// with beta2 = 0 every value is an exactly-representable integer, so the
+// float DP's decisions coincide with the original integer DP's.
+func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork int64, beta2 float64) []int {
 	mustProcs(p)
 	n := len(work)
 	bounds := make([]int, p+1)
@@ -81,8 +98,8 @@ func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork 
 
 	// cost[i][j-i] = C(i, j) for j in [i, jmax(i)], where jmax(i) is the
 	// furthest end with block work pre[j]-pre[i] <= maxWork.
-	cost := make([][]int64, n+1)
-	cost[n] = []int64{0}
+	cost := make([][]float64, n+1)
+	cost[n] = []float64{0}
 	// seen[k'] == i+1 marks source column k' already charged to the block
 	// starting at i (epoch trick: no per-start reset).
 	seen := make([]int, n)
@@ -91,8 +108,9 @@ func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork 
 		for jmax < n && pre[jmax+1]-pre[i] <= maxWork {
 			jmax++
 		}
-		row := make([]int64, jmax-i+1)
-		var cur int64
+		row := make([]float64, jmax-i+1)
+		var vol int64
+		var msgs int64
 		for j := i + 1; j <= jmax; j++ {
 			x := j - 1 // column newly added to block [i, j)
 			for _, r := range refs[x] {
@@ -103,16 +121,17 @@ func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork 
 					continue // already fetched for an earlier target
 				}
 				seen[r.Col] = i + 1
-				cur += r.Vol
+				vol += r.Vol
+				msgs++
 			}
-			row[j-i] = cur
+			row[j-i] = float64(vol) + beta2*float64(msgs)
 		}
 		cost[i] = row
 	}
 
-	const inf = math.MaxInt64 / 2
-	dp := make([]int64, n+1)
-	next := make([]int64, n+1)
+	inf := math.Inf(1)
+	dp := make([]float64, n+1)
+	next := make([]float64, n+1)
 	par := make([][]int32, p+1)
 	for j := 1; j <= n; j++ {
 		dp[j] = inf
@@ -124,7 +143,7 @@ func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork 
 			par[k][j] = -1
 		}
 		for i := 0; i <= n; i++ {
-			if dp[i] >= inf {
+			if math.IsInf(dp[i], 1) {
 				continue
 			}
 			row := cost[i]
@@ -138,7 +157,7 @@ func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork 
 		}
 		dp, next = next, dp
 	}
-	if dp[n] >= inf {
+	if math.IsInf(dp[n], 1) {
 		return nil
 	}
 	at := n

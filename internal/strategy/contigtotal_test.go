@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/traffic"
 )
@@ -117,7 +118,7 @@ func TestContigTotalBruteForce(t *testing.T) {
 			// The DP's internal objective must equal the simulator's total
 			// on the split it returns (oracle consistency).
 			refs := traffic.ColumnRefs(sys.Ops)
-			bounds := ContiguousSplitTotal(work, refs, p, bstar)
+			bounds := ContiguousSplitTotal(work, refs, p, bstar, 0)
 			sc2 := columnSchedule(sys, p, ownersFromBounds(n, bounds))
 			if tr := Traffic(sys, Options{}, sc2).Total; tr != got {
 				t.Errorf("matrix %d P=%d: helper split traffic %d, mapper traffic %d", mi, p, tr, got)
@@ -173,6 +174,115 @@ func TestContigTotalSlackMonotone(t *testing.T) {
 	}
 }
 
+// splitMessages counts the total per-cut messages of a contiguous split:
+// for every block, the number of distinct source columns left of its cut
+// that some column of the block references — exactly the message term the
+// Beta2-weighted DP objective charges.
+func splitMessages(refs [][]traffic.ColRef, bounds []int) int64 {
+	var msgs int64
+	for k := 0; k+1 < len(bounds); k++ {
+		lo, hi := bounds[k], bounds[k+1]
+		seen := make(map[int32]bool)
+		for j := lo; j < hi; j++ {
+			for _, r := range refs[j] {
+				if int(r.Col) < lo && !seen[r.Col] {
+					seen[r.Col] = true
+					msgs++
+				}
+			}
+		}
+	}
+	return msgs
+}
+
+// TestContigTotalBeta2Monotonic pins the Beta2 knob's defining property
+// on LAP30: raising the message weight never increases the optimal
+// split's message count (and with Beta2 = 0 the split is the pure-volume
+// optimum, so its volume is minimal). This is the scalarization exchange
+// argument — for optima at weights b2 > b1, adding the two optimality
+// inequalities forces msgs(b2) <= msgs(b1) — made executable.
+func TestContigTotalBeta2Monotonic(t *testing.T) {
+	sys := newTestSys(t, gen.Lap30())
+	work := sys.ColumnWork()
+	refs := traffic.ColumnRefs(sys.Ops)
+	const p = 8
+	// Work slack widens the feasible set so the DP has real
+	// volume/message trades to make (at tight slack the message floor of
+	// the feasible set is already reached by the pure-volume optimum).
+	bound := OptimalBottleneck(work, p)
+	bound += int64(1.0 * float64(bound))
+	prevMsgs := int64(-1)
+	baseVol := int64(-1)
+	for _, beta2 := range []float64{0, 0.5, 2, 10, 100, 1000} {
+		bounds := ContiguousSplitTotal(work, refs, p, bound, beta2)
+		if bounds == nil {
+			t.Fatalf("beta2=%g: no feasible split", beta2)
+		}
+		sc := columnSchedule(sys, p, ownersFromBounds(sys.F.N, bounds))
+		vol := Traffic(sys, Options{}, sc).Total
+		msgs := splitMessages(refs, bounds)
+		if prevMsgs >= 0 && msgs > prevMsgs {
+			t.Errorf("beta2=%g: %d messages > %d at smaller beta2", beta2, msgs, prevMsgs)
+		}
+		if baseVol < 0 {
+			baseVol = vol
+		} else if vol < baseVol {
+			t.Errorf("beta2=%g: volume %d below the pure-volume optimum %d", beta2, vol, baseVol)
+		}
+		prevMsgs = msgs
+	}
+	// The knob must reach a strictly smaller message count somewhere on
+	// LAP30, otherwise the test pins nothing.
+	b0 := ContiguousSplitTotal(work, refs, p, bound, 0)
+	bN := ContiguousSplitTotal(work, refs, p, bound, 1000)
+	if m0, mN := splitMessages(refs, b0), splitMessages(refs, bN); mN >= m0 {
+		t.Errorf("beta2=1000 did not reduce messages on LAP30: %d vs %d at beta2=0", mN, m0)
+	}
+}
+
+// TestContigTotalBeta2Mapper covers the Options plumbing: the mapper's
+// schedule under a large Beta2 matches the helper's split, and negative
+// values select zero (the documented default).
+func TestContigTotalBeta2Mapper(t *testing.T) {
+	sys := newTestSys(t, gen.Grid9(8, 8))
+	const p = 8
+	neg, err := Map("contigtotal", sys, p, Options{Beta2: -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Map("contigtotal", sys, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range zero.ElemProc {
+		if neg.ElemProc[q] != zero.ElemProc[q] {
+			t.Fatalf("negative Beta2 changed the schedule at element %d", q)
+		}
+	}
+	refs := traffic.ColumnRefs(sys.Ops)
+	high, err := Map("contigtotal", sys, p, Options{Slack: 0.25, Beta2: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Map("contigtotal", sys, p, Options{Slack: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundsOf := func(sc *sched.Schedule) []int {
+		own := columnOwners(sys.F, sc)
+		bounds := []int{0}
+		for j := 1; j < sys.F.N; j++ {
+			if own[j] != own[j-1] {
+				bounds = append(bounds, j)
+			}
+		}
+		return append(bounds, sys.F.N)
+	}
+	if hm, lm := splitMessages(refs, boundsOf(high)), splitMessages(refs, boundsOf(low)); hm > lm {
+		t.Errorf("mapper with Beta2=500 has %d messages > %d at Beta2=0", hm, lm)
+	}
+}
+
 // TestContiguousSplitTotalInfeasible: a work bound below the heaviest
 // single column makes covering impossible; the helper reports that with
 // a nil result instead of a malformed split.
@@ -186,7 +296,7 @@ func TestContiguousSplitTotalInfeasible(t *testing.T) {
 			maxCol = w
 		}
 	}
-	if bounds := ContiguousSplitTotal(work, refs, 3, maxCol-1); bounds != nil {
+	if bounds := ContiguousSplitTotal(work, refs, 3, maxCol-1, 0); bounds != nil {
 		t.Errorf("infeasible bound returned %v, want nil", bounds)
 	}
 }

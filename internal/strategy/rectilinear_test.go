@@ -129,7 +129,7 @@ func TestSplitHelperContract(t *testing.T) {
 	}
 	mustPanicProcs("ContiguousSplit", func() { ContiguousSplit(work, 0) })
 	mustPanicProcs("OptimalBottleneck", func() { OptimalBottleneck(work, 0) })
-	mustPanicProcs("ContiguousSplitTotal", func() { ContiguousSplitTotal(work, nil, 0, 1) })
+	mustPanicProcs("ContiguousSplitTotal", func() { ContiguousSplitTotal(work, nil, 0, 1, 0) })
 	mustPanicProcs("RectilinearCuts", func() { RectilinearCuts(sys.Ops, sys.ElemWork, 0) })
 	mustPanicProcs("SubcubeOwners", func() { SubcubeOwners(sys.F.Parent, work, 0) })
 }

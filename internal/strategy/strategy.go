@@ -161,6 +161,14 @@ type Options struct {
 	// total-traffic DP minimizes over (never increasing the optimum).
 	// Values <= 0 select 0, i.e. only bottleneck-optimal splits.
 	Slack float64
+	// Beta2 weights per-cut message counts into the contigtotal
+	// objective: the DP minimizes volume + Beta2 x messages, where a
+	// block receives one message per distinct source column it fetches
+	// across its left cut (the per-cut counts traffic.ColumnRefs
+	// exposes). Zero (the default) minimizes pure volume; raising Beta2
+	// never increases the optimal split's message count (a scalarization
+	// exchange argument, regression-tested on LAP30).
+	Beta2 float64
 	// Comm is the communication-time model the "commspan" refine
 	// objective minimizes the dynamic makespan under. The zero value
 	// charges nothing, making commspan minimize the compute-only dynamic

@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/gen"
+	"repro/internal/order"
+	"repro/internal/symbolic"
 	"repro/internal/traffic"
 )
 
@@ -167,4 +169,40 @@ func TestSubcubeAsRefineBase(t *testing.T) {
 		t.Errorf("refine(subcube): total work changed %d -> %d", baseSc.TotalWork(), ref.TotalWork())
 	}
 	checkSchedule(t, sys, ref, "refine/subcube", p)
+}
+
+// TestSubcubeNDOrderLAP30 is the ordering-aware regression: under a
+// nested-dissection ordering — where the elimination tree's separators
+// are explicit, the regime subtree-to-subcube mapping was designed for —
+// the subcube unified comm-aware dynamic span stays at or below wrap's on
+// LAP30 at P in {16, 32}, and its data traffic stays strictly below
+// (independent subtrees of the dissection never share owners).
+func TestSubcubeNDOrderLAP30(t *testing.T) {
+	a := gen.Lap30()
+	perm := order.NestedDissection(a, 0)
+	pm, err := a.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSys(symbolic.Analyze(pm), nil, nil)
+	cm := exec.CommModel{Alpha: 2, Beta: 10}
+	for _, p := range []int{16, 32} {
+		span := map[string]int64{}
+		tr := map[string]int64{}
+		for _, name := range []string{"subcube", "wrap"} {
+			sc, err := Map(name, sys, p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSchedule(t, sys, sc, name+"/ndorder", p)
+			span[name] = MakespanCommDynamic(sys, Options{}, sc, cm).Makespan
+			tr[name] = Traffic(sys, Options{}, sc).Total
+		}
+		if span["subcube"] > span["wrap"] {
+			t.Errorf("NDOrder P=%d: subcube unified span %d > wrap %d", p, span["subcube"], span["wrap"])
+		}
+		if tr["subcube"] >= tr["wrap"] {
+			t.Errorf("NDOrder P=%d: subcube traffic %d >= wrap %d", p, tr["subcube"], tr["wrap"])
+		}
+	}
 }

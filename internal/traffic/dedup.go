@@ -1,0 +1,41 @@
+package traffic
+
+// FetchDedup tracks distinct (element, processor) first fetches — the
+// deduplication rule of the paper's caching model ("once a data element
+// is fetched, that element is stored locally"), shared by every traffic
+// simulator in this package and by the 2D tile simulator
+// (part2d.Traffic). Processor counts of at most 64 use a per-element
+// bitmask; wider counts fall back to a map keyed elem<<16|proc, which
+// bounds supported processor counts at 65536.
+type FetchDedup struct {
+	mask []uint64
+	wide map[int64]struct{}
+}
+
+// NewFetchDedup sizes the tracker for a factor with nnz elements
+// scheduled on p processors.
+func NewFetchDedup(p, nnz int) *FetchDedup {
+	if p > 64 {
+		return &FetchDedup{wide: make(map[int64]struct{})}
+	}
+	return &FetchDedup{mask: make([]uint64, nnz)}
+}
+
+// FirstFetch reports whether processor proc fetches elem for the first
+// time, marking the pair seen.
+func (d *FetchDedup) FirstFetch(elem, proc int32) bool {
+	if d.wide != nil {
+		key := int64(elem)<<16 | int64(proc)
+		if _, ok := d.wide[key]; ok {
+			return false
+		}
+		d.wide[key] = struct{}{}
+		return true
+	}
+	bit := uint64(1) << uint(proc)
+	if d.mask[elem]&bit != 0 {
+		return false
+	}
+	d.mask[elem] |= bit
+	return true
+}

@@ -54,33 +54,13 @@ func fetchPerTask(ops *model.Ops, s *sched.Schedule, ntasks int, taskOf func(tgt
 		panic(fmt.Sprintf("traffic: schedule covers %d elements, factor has %d", len(s.ElemProc), nnz))
 	}
 	tc := &TaskComm{Vol: make([]int64, ntasks), Msgs: make([]int64, ntasks)}
-	wide := s.P > 64
-	var fetched []uint64
-	var fetchedWide map[int64]struct{}
-	if wide {
-		fetchedWide = make(map[int64]struct{})
-	} else {
-		fetched = make([]uint64, nnz)
-	}
+	fetched := NewFetchDedup(s.P, nnz)
 	msgSeen := make(map[int64]struct{}) // distinct (source processor, task) pairs
 	access := func(elem, tgt int32) {
 		proc := s.ElemProc[tgt]
 		owner := s.ElemProc[elem]
-		if owner == proc {
+		if owner == proc || !fetched.FirstFetch(elem, proc) {
 			return
-		}
-		if wide {
-			k := int64(elem)<<16 | int64(proc)
-			if _, ok := fetchedWide[k]; ok {
-				return
-			}
-			fetchedWide[k] = struct{}{}
-		} else {
-			bit := uint64(1) << uint(proc)
-			if fetched[elem]&bit != 0 {
-				return
-			}
-			fetched[elem] |= bit
 		}
 		task := taskOf(tgt)
 		tc.Vol[task]++
@@ -98,6 +78,17 @@ func fetchPerTask(ops *model.Ops, s *sched.Schedule, ntasks int, taskOf func(tgt
 		access(diag, tgt)
 	})
 	return tc
+}
+
+// FetchStatsTasks attributes every distinct non-local fetch of a schedule
+// to an arbitrary task granularity: taskOf maps the factor nonzero
+// position of an update's target to the task charged for the fetch. The
+// dedup rule is identical to Simulate's, so the per-task volumes
+// partition the traffic total exactly whatever the granularity — unit
+// blocks (FetchStats), columns (FetchStatsColumns), or the merged
+// tile-segment tasks of the 2D subsystem (part2d.FetchStats).
+func FetchStatsTasks(ops *model.Ops, s *sched.Schedule, ntasks int, taskOf func(tgt int32) int32) *TaskComm {
+	return fetchPerTask(ops, s, ntasks, taskOf)
 }
 
 // FetchStats attributes every distinct non-local fetch of a

@@ -42,30 +42,10 @@ func consolidate(ops *model.Ops, s *sched.Schedule, groupOf func(elem int32) int
 		proc  int32
 	}
 	sizes := make(map[key]int64)
-	wide := s.P > 64
-	var fetched []uint64
-	var fetchedWide map[int64]struct{}
-	if wide {
-		fetchedWide = make(map[int64]struct{})
-	} else {
-		fetched = make([]uint64, nnz)
-	}
+	fetched := NewFetchDedup(s.P, nnz)
 	access := func(elem int32, proc int32) {
-		if s.ElemProc[elem] == proc {
+		if s.ElemProc[elem] == proc || !fetched.FirstFetch(elem, proc) {
 			return
-		}
-		if wide {
-			k := int64(elem)<<16 | int64(proc)
-			if _, ok := fetchedWide[k]; ok {
-				return
-			}
-			fetchedWide[k] = struct{}{}
-		} else {
-			bit := uint64(1) << uint(proc)
-			if fetched[elem]&bit != 0 {
-				return
-			}
-			fetched[elem] |= bit
 		}
 		sizes[key{groupOf(elem), proc}]++
 	}

@@ -94,44 +94,12 @@ func Simulate(ops *model.Ops, s *sched.Schedule) *Result {
 	for i := range r.Pair {
 		r.Pair[i] = make([]int64, s.P)
 	}
-	if s.P <= 64 {
-		fetched := make([]uint64, nnz) // bitmask of processors that fetched each element
-		access := func(elem int32, proc int32) {
-			owner := s.ElemProc[elem]
-			if owner == proc {
-				return
-			}
-			bit := uint64(1) << uint(proc)
-			if fetched[elem]&bit != 0 {
-				return
-			}
-			fetched[elem] |= bit
-			r.Total++
-			r.PerProc[proc]++
-			r.Pair[owner][proc]++
-		}
-		ops.ForEachUpdate(func(u model.Update) {
-			proc := s.ElemProc[u.Tgt]
-			access(u.SrcI, proc)
-			access(u.SrcJ, proc)
-		})
-		ops.ForEachScale(func(tgt, diag int32) {
-			access(diag, s.ElemProc[tgt])
-		})
-		return r
-	}
-	// Generic path for large P.
-	fetched := make(map[int64]struct{})
+	fetched := NewFetchDedup(s.P, nnz)
 	access := func(elem int32, proc int32) {
 		owner := s.ElemProc[elem]
-		if owner == proc {
+		if owner == proc || !fetched.FirstFetch(elem, proc) {
 			return
 		}
-		key := int64(elem)<<16 | int64(proc)
-		if _, ok := fetched[key]; ok {
-			return
-		}
-		fetched[key] = struct{}{}
 		r.Total++
 		r.PerProc[proc]++
 		r.Pair[owner][proc]++

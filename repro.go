@@ -31,6 +31,15 @@
 //	sc, _ := sys.MapStrategy("contiguous", 16, repro.StrategyOptions{})
 //	fmt.Println(sys.StrategyTraffic(repro.StrategyOptions{}, sc).Total)
 //
+// A second registry (internal/part2d) generalizes schedules to 2D tile
+// ownership: each (rowBlock, colBlock) tile of a shared diagonal interval
+// structure is assigned to a processor, measured by a fan-out/fan-in
+// traffic simulator and comm-aware makespan simulators that are
+// bit-identical to the 1D ones on column-granular tilings:
+//
+//	s2, _ := sys.MapStrategy2D("rect2d", 16, repro.StrategyOptions{})
+//	fmt.Println(sys.Traffic2D(s2).Total, sys.Makespan2DComm(s2, cm).Makespan)
+//
 // The subsystems live in internal packages (sparse storage, generators,
 // Harwell-Boeing I/O, MMD ordering, symbolic and numeric factorization,
 // the partitioner core, schedulers, the mapping-strategy registry, and
@@ -50,6 +59,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/numeric"
 	"repro/internal/order"
+	"repro/internal/part2d"
 	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/strategy"
@@ -300,6 +310,86 @@ func (s *System) StrategyFetchStats(opts StrategyOptions, sc *Schedule) *TaskCom
 // cost model — and the move budget; the input schedule is not modified).
 func (s *System) RefineSchedule(opts StrategyOptions, sc *Schedule) (*Schedule, error) {
 	return strategy.Refine(s.strategySys(), opts, sc)
+}
+
+// ------------------------------------------------------- 2D tile ownership
+
+// Schedule2D assigns every lower-triangle tile of a shared diagonal
+// interval structure to a processor — the 2D generalization of a column
+// schedule, in which a block column may be split by rows across
+// processors (see internal/part2d).
+type Schedule2D = part2d.Schedule2D
+
+// Traffic2DResult is the outcome of the tile-granular traffic simulation:
+// the deduplicated total of the 1D simulator plus the per-tile fan-out
+// (row-direction) and fan-in (column-direction) volume attribution, which
+// sums to the total exactly.
+type Traffic2DResult = part2d.TrafficResult
+
+// Mapper2D is one 2D partitioning/mapping strategy of the part2d
+// registry; new mappers register with part2d.Register2D and immediately
+// appear in Strategies2D, cmd/sweep -kind tile2d and the Ext-T tables.
+type Mapper2D = part2d.Mapper2D
+
+// Strategies2D returns the sorted names of every registered 2D strategy
+// (at least col2d, rect2d, rect2dcyclic and rect2dlpt).
+func Strategies2D() []string { return part2d.Names2D() }
+
+// LiftBases2D returns the column-granular 1D strategies the col2d bridge
+// lifts into the 2D subsystem.
+func LiftBases2D() []string { return part2d.LiftBases() }
+
+// MapStrategy2D runs the named registered 2D strategy, producing a tile
+// schedule for the 2D simulators. The col2d strategy lifts the 1D
+// strategy named by opts.Base (default wrap), making every column-granular
+// 1D mapper comparable in the 2D simulators; rect2d and its variants keep
+// the tile structure the 1D rectilinear mapper flattens away.
+func (s *System) MapStrategy2D(name string, p int, opts StrategyOptions) (*Schedule2D, error) {
+	return part2d.Map2D(name, s.strategySys(), p, opts)
+}
+
+// Lift2D converts a column-granular 1D schedule into the equivalent 2D
+// tile schedule without re-running its strategy (the bridge col2d uses).
+func (s *System) Lift2D(sc *Schedule, name string) (*Schedule2D, error) {
+	return part2d.Lift(s.strategySys(), sc, name)
+}
+
+// Traffic2D simulates the tile-granular data traffic of a 2D schedule:
+// the same deduplicated fetch-on-first-use model as Traffic, with every
+// fetch attributed to the target tile that first required it and
+// classified as fan-out (pair-update sources traveling along the target's
+// row of tiles) or fan-in (sources and diagonals converging along the
+// target's column of tiles). Fan-out plus fan-in equals the total.
+func (s *System) Traffic2D(sc *Schedule2D) *Traffic2DResult {
+	return part2d.Traffic(s.ops, sc)
+}
+
+// Makespan2D simulates dependency-delay execution of a 2D schedule over
+// the merged tile-segment task graph with static per-processor order. On
+// a column-granular tiling (any col2d lift) it is bit-identical to
+// StrategyMakespan on the lifted 1D schedule.
+func (s *System) Makespan2D(sc *Schedule2D) MakespanResult {
+	return part2d.Makespan(s.ops, s.elemWork, sc)
+}
+
+// Makespan2DDynamic is Makespan2D with a dynamic critical-path-priority
+// ready queue on each processor.
+func (s *System) Makespan2DDynamic(sc *Schedule2D) MakespanResult {
+	return part2d.MakespanDynamic(s.ops, s.elemWork, sc)
+}
+
+// Makespan2DComm simulates dependency-delay execution of a 2D schedule
+// with communication-aware task durations under cm, charging every
+// tile-segment task its fetch volume and consolidated message count. With
+// a zero CommModel it is identical to Makespan2D; on col2d lifts it is
+// bit-identical to StrategyMakespanComm.
+func (s *System) Makespan2DComm(sc *Schedule2D, cm CommModel) MakespanResult {
+	return part2d.MakespanComm(s.ops, s.elemWork, sc, cm)
+}
+
+// Makespan2DCommDynamic is Makespan2DComm with the dynamic ready queue.
+func (s *System) Makespan2DCommDynamic(sc *Schedule2D, cm CommModel) MakespanResult {
+	return part2d.MakespanCommDynamic(s.ops, s.elemWork, sc, cm)
 }
 
 // Traffic simulates the data traffic of a schedule under the paper's
