@@ -1,10 +1,16 @@
 // Command paperbench regenerates every table of Venugopal & Naik (SC'91)
 // from the reproduction pipeline and prints measured values next to the
-// published ones.
+// published ones. It is also the bench-ledger and trace emitter: -ledger
+// records every registered strategy (1D and native 2D) as machine-readable
+// BENCH_*.json, and -trace exports one simulated execution as a Chrome
+// trace (Perfetto-loadable) or an ASCII Gantt chart.
 //
 // Usage:
 //
-//	paperbench [-table 1|2|3|4|5|makespan|partners|grain|all]
+//	paperbench [-table 1|2|3|4|5|...|all|none]
+//	paperbench -table none -ledger BENCH_pr.json -matrix LAP30
+//	paperbench -table none -trace trace.json -tracestrategy rect2dcyclic -traceprocs 64
+//	paperbench -checkledger BENCH_pr.json
 package main
 
 import (
@@ -13,7 +19,10 @@ import (
 	"log"
 	"math"
 	"os"
+	"slices"
+	"strings"
 
+	"repro"
 	"repro/internal/exec"
 	"repro/internal/tables"
 )
@@ -22,13 +31,62 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
 	table := flag.String("table", "all",
-		"which table to regenerate: 1..5, makespan, partners, grain, relax, alloc, order, solve, dynamic, crossover, messages, commspan, unified, strategy, tile2d, or all")
-	alpha := flag.Float64("alpha", 2, "comm model: work units per fetched element (unified table)")
-	beta := flag.Float64("beta", 10, "comm model: work units per received message (unified table)")
+		"which table to regenerate: 1..5, makespan, partners, grain, relax, alloc, order, solve, dynamic, crossover, messages, commspan, unified, strategy, tile2d, all, or none (tables off; useful with -ledger/-trace)")
+	alpha := flag.Float64("alpha", 2, "comm model: work units per fetched element (unified table, ledger, trace)")
+	beta := flag.Float64("beta", 10, "comm model: work units per received message (unified table, ledger, trace)")
+	ledgerPath := flag.String("ledger", "", "write the machine-readable bench ledger (BENCH_*.json) to this path")
+	checkLedger := flag.String("checkledger", "", "validate an existing bench ledger file and exit (the CI gate)")
+	matrix := flag.String("matrix", "", "restrict -ledger to one suite matrix and select the -trace matrix (default: all for the ledger, LAP30 for the trace)")
+	tracePath := flag.String("trace", "", "write one traced comm-aware dynamic simulation to this path")
+	traceFormat := flag.String("traceformat", "chrome", "trace export format: "+strings.Join(repro.TraceFormats(), " or "))
+	traceStrategy := flag.String("tracestrategy", "wrap", "strategy of the traced run: a 1D strategy, a native 2D mapper, or col2d:<base>")
+	traceProcs := flag.Int("traceprocs", 16, "processor count of the traced run")
 	flag.Parse()
 	// !(x >= 0) also rejects NaN, which a plain x < 0 lets through.
 	if !(*alpha >= 0) || !(*beta >= 0) || math.IsInf(*alpha, 0) || math.IsInf(*beta, 0) {
 		log.Fatalf("invalid comm model: alpha=%g beta=%g (both must be finite and >= 0)", *alpha, *beta)
+	}
+	cm := exec.CommModel{Alpha: *alpha, Beta: *beta}
+
+	if *checkLedger != "" {
+		data, err := os.ReadFile(*checkLedger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := repro.ValidateLedger(data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: valid %s ledger\n", *checkLedger, repro.BenchLedgerSchema)
+		return
+	}
+
+	// Fail fast on every output knob before any table work: unknown trace
+	// formats and strategies are refused up front, and output files are
+	// created now so a bad path can't die after minutes of simulation.
+	var ledgerFile, traceFile *os.File
+	if *ledgerPath != "" {
+		f, err := os.Create(*ledgerPath)
+		if err != nil {
+			log.Fatalf("-ledger: %v", err)
+		}
+		ledgerFile = f
+	}
+	if *tracePath != "" {
+		if !slices.Contains(repro.TraceFormats(), *traceFormat) {
+			log.Fatalf("unknown trace format %q (supported: %s)", *traceFormat, strings.Join(repro.TraceFormats(), ", "))
+		}
+		if !validTraceStrategy(*traceStrategy) {
+			log.Fatalf("unknown trace strategy %q (want a 1D strategy [%s], a 2D mapper [%s], or col2d:<base>)",
+				*traceStrategy, strings.Join(repro.Strategies(), ", "), strings.Join(repro.Strategies2D(), ", "))
+		}
+		if *traceProcs < 1 {
+			log.Fatalf("invalid -traceprocs %d", *traceProcs)
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		traceFile = f
 	}
 
 	ps, err := tables.LoadSuite()
@@ -41,9 +99,14 @@ func main() {
 			lap = p
 		}
 	}
+	if *matrix != "" {
+		if !slices.ContainsFunc(ps, func(p *tables.Problem) bool { return p.Meta.Name == *matrix }) {
+			log.Fatalf("unknown matrix %q", *matrix)
+		}
+	}
 
 	show := func(name string) bool { return *table == "all" || *table == name }
-	printed := false
+	printed := *table == "none"
 	if show("1") {
 		fmt.Println(tables.FormatTable1(tables.Table1(ps)))
 		printed = true
@@ -115,7 +178,6 @@ func main() {
 		printed = true
 	}
 	if show("unified") {
-		cm := exec.CommModel{Alpha: *alpha, Beta: *beta}
 		rows, err := tables.UnifiedComm(lap, tables.WrapProcs, nil, cm)
 		if err != nil {
 			log.Fatal(err)
@@ -132,7 +194,6 @@ func main() {
 		printed = true
 	}
 	if show("tile2d") {
-		cm := exec.CommModel{Alpha: *alpha, Beta: *beta}
 		rows, err := tables.Tile2D(lap, tables.Tile2DProcs, cm)
 		if err != nil {
 			log.Fatal(err)
@@ -155,4 +216,88 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if ledgerFile != nil {
+		bench := ps
+		if *matrix != "" {
+			bench = nil
+			for _, p := range ps {
+				if p.Meta.Name == *matrix {
+					bench = append(bench, p)
+				}
+			}
+		}
+		ledger, err := tables.BenchLedger(bench, tables.DefaultProcs, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ledger.Write(ledgerFile); err != nil {
+			log.Fatal(err)
+		}
+		if err := ledgerFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *ledgerPath, len(ledger.Records))
+	}
+	if traceFile != nil {
+		name := *matrix
+		if name == "" {
+			name = "LAP30"
+		}
+		if err := writeTraceRun(traceFile, name, *traceStrategy, *traceProcs, *traceFormat, cm); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *tracePath)
+	}
+}
+
+// validTraceStrategy accepts any registered 1D strategy, any native 2D
+// mapper, or a "col2d:<base>" lift of a column-granular strategy.
+func validTraceStrategy(name string) bool {
+	if base, ok := strings.CutPrefix(name, "col2d:"); ok {
+		return slices.Contains(repro.LiftBases2D(), base)
+	}
+	return slices.Contains(repro.Strategies(), name) || slices.Contains(repro.Strategies2D(), name)
+}
+
+// writeTraceRun maps the named strategy on the named suite matrix, runs
+// the comm-aware dynamic makespan simulation with tracing, and exports
+// the events in the requested format.
+func writeTraceRun(w *os.File, matrix, name string, procs int, format string, cm exec.CommModel) error {
+	m, _, err := repro.BuildMatrix(matrix)
+	if err != nil {
+		return err
+	}
+	sys, err := repro.Analyze(m)
+	if err != nil {
+		return err
+	}
+	opts := repro.StrategyOptions{Part: repro.PartitionOptions{Grain: 25, MinClusterWidth: 4}}
+	var res repro.MakespanResult
+	var events []repro.TraceEvent
+	switch {
+	case strings.HasPrefix(name, "col2d:"):
+		opts2 := repro.StrategyOptions{Base: strings.TrimPrefix(name, "col2d:")}
+		s2, err := sys.MapStrategy2D("col2d", procs, opts2)
+		if err != nil {
+			return err
+		}
+		res, events = sys.TraceMakespan2DCommDynamic(s2, cm)
+	case slices.Contains(repro.Strategies2D(), name):
+		s2, err := sys.MapStrategy2D(name, procs, repro.StrategyOptions{})
+		if err != nil {
+			return err
+		}
+		res, events = sys.TraceMakespan2DCommDynamic(s2, cm)
+	default:
+		sc, err := sys.MapStrategy(name, procs, opts)
+		if err != nil {
+			return err
+		}
+		res, events = sys.TraceMakespanCommDynamic(opts, sc, cm)
+	}
+	return repro.WriteTrace(w, format, events, res)
 }

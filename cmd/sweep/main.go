@@ -15,6 +15,8 @@
 //	sweep -kind tile2d   -matrix LAP30 -alpha 2 -beta 10 > tile2d.csv
 //	sweep -kind tile2d   -strategy col2d:rectilinear -matrix LAP30
 //	sweep -kind all      -out data/         # every series for every matrix
+//	sweep -kind strategy -matrix LAP30 -ledger BENCH_lap30.json
+//	sweep -kind tile2d   -strategy rect2dcyclic -procs 64 -trace trace.json
 package main
 
 import (
@@ -53,6 +55,9 @@ func main() {
 		alpha  = flag.Float64("alpha", 2, "comm model: work units per fetched element (comm sweep, commspan objective)")
 		beta   = flag.Float64("beta", 10, "comm model: work units per received message (comm sweep, commspan objective)")
 		beta2  = flag.Float64("beta2", 0, "contigtotal objective: weight of per-cut message counts next to volume")
+		trace  = flag.String("trace", "", "write the traced comm-aware dynamic run of the single -strategy at -procs to this path (kinds strategy, comm, tile2d)")
+		tracef = flag.String("traceformat", "chrome", "trace export format: "+strings.Join(repro.TraceFormats(), " or "))
+		ledger = flag.String("ledger", "", "write one BENCH record per sweep row to this path (kinds strategy, comm, tile2d)")
 	)
 	flag.Parse()
 	// !(x >= 0) also rejects NaN, which a plain x < 0 lets through.
@@ -70,6 +75,39 @@ func main() {
 	validateChoice("refine objective", *obj, repro.RefineObjectives())
 	cm := repro.CommModel{Alpha: *alpha, Beta: *beta}
 
+	// The observability outputs fail fast, before any sweep work: trace
+	// format and kind compatibility are checked and the files created up
+	// front, so a typo can't surface after a long simulation.
+	benchKinds := []string{"strategy", "comm", "tile2d"}
+	bcap := &capture{traceFormat: *tracef, traceProcs: *procs, traceStrategy: *strat}
+	if *trace != "" {
+		validateChoice("trace format", *tracef, repro.TraceFormats())
+		if !slices.Contains(benchKinds, *kind) {
+			log.Fatalf("-trace requires -kind %s (got %q)", strings.Join(benchKinds, ", "), *kind)
+		}
+		if *strat == "" {
+			log.Fatal("-trace requires a single -strategy to capture")
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		defer f.Close()
+		bcap.traceW = f
+	}
+	if *ledger != "" {
+		if !slices.Contains(benchKinds, *kind) {
+			log.Fatalf("-ledger requires -kind %s (got %q)", strings.Join(benchKinds, ", "), *kind)
+		}
+		f, err := os.Create(*ledger)
+		if err != nil {
+			log.Fatalf("-ledger: %v", err)
+		}
+		defer f.Close()
+		bcap.ledgerW = f
+		bcap.ledger = repro.NewLedger()
+	}
+
 	if *kind == "all" {
 		if *out == "" {
 			log.Fatal("-kind all requires -out")
@@ -84,7 +122,7 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat, *obj, cm, *beta2); err != nil {
+				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat, *obj, cm, *beta2, nil); err != nil {
 					log.Fatal(err)
 				}
 				if err := f.Close(); err != nil {
@@ -95,9 +133,73 @@ func main() {
 		}
 		return
 	}
-	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat, *obj, cm, *beta2); err != nil {
+	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat, *obj, cm, *beta2, bcap); err != nil {
 		log.Fatal(err)
 	}
+	if bcap.ledger != nil {
+		if err := bcap.ledger.Write(bcap.ledgerW); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *ledger, len(bcap.ledger.Records))
+	}
+	if bcap.traceW != nil {
+		if !bcap.traced {
+			log.Fatalf("-trace: strategy %q at -procs %d never ran in the %s sweep", *strat, *procs, *kind)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *trace)
+	}
+}
+
+// capture carries the observability outputs of one sweep: the ledger
+// accumulating one BENCH record per row, and the trace writer capturing
+// the single (traceStrategy, traceProcs) run.
+type capture struct {
+	ledger        *repro.Ledger
+	ledgerW       io.Writer
+	traceW        io.Writer
+	traceFormat   string
+	traceStrategy string
+	traceProcs    int
+	traced        bool
+}
+
+// observe records one traced comm-aware dynamic run into the capture:
+// always a ledger record (when the ledger is on), and the trace export
+// when (name, p) is the selected trace point. matrix/kind2 label the
+// record; traffic is the run's simulated total traffic.
+func (c *capture) observe(matrix, kind2, name string, p int, cm repro.CommModel, traffic int64,
+	res repro.MakespanResult, events []repro.TraceEvent) error {
+	if c == nil {
+		return nil
+	}
+	if c.ledger != nil {
+		prof, err := repro.BuildProfile(events, res)
+		if err != nil {
+			return err
+		}
+		sum := prof.Summary()
+		c.ledger.Add(repro.BenchRecord{
+			Matrix: matrix, Strategy: name, Kind: kind2, P: p,
+			Alpha: cm.Alpha, Beta: cm.Beta,
+			Makespan: res.Makespan, Traffic: traffic, Efficiency: res.Efficiency,
+			Profile: &sum,
+		})
+	}
+	if c.traceW != nil && !c.traced && name == c.traceStrategy && p == c.traceProcs {
+		if err := repro.WriteTrace(c.traceW, c.traceFormat, events, res); err != nil {
+			return err
+		}
+		c.traced = true
+	}
+	return nil
+}
+
+// active reports whether the capture needs the traced run of (name, p).
+func (c *capture) active(name string, p int) bool {
+	if c == nil {
+		return false
+	}
+	return c.ledger != nil || (c.traceW != nil && name == c.traceStrategy && p == c.traceProcs)
 }
 
 // validateChoice fails fast (before any sweep work) when a flag value is
@@ -110,7 +212,7 @@ func validateChoice(name, value string, choices []string) {
 	log.Fatalf("unknown %s %q (registered: %s)", name, value, strings.Join(choices, ", "))
 }
 
-func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, obj string, cm repro.CommModel, beta2 float64) error {
+func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, obj string, cm repro.CommModel, beta2 float64, bcap *capture) error {
 	m, _, err := repro.BuildMatrix(matrix)
 	if err != nil {
 		return err
@@ -205,6 +307,12 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, ob
 				fmt.Sprintf("%.4f", ms.Efficiency)); err != nil {
 				return err
 			}
+			if bcap.active(name, procs) {
+				res, events := sys.TraceMakespanCommDynamic(opts, sc, cm)
+				if err := bcap.observe(matrix, "strategy", name, procs, cm, tr.Total, res, events); err != nil {
+					return err
+				}
+			}
 		}
 	case "comm":
 		if err := row("strategy", "procs", "alpha", "beta", "fetch_vol", "fetch_msgs",
@@ -242,6 +350,12 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, ob
 					fmt.Sprint(cd.Makespan), fmt.Sprintf("%.4f", frac)); err != nil {
 					return err
 				}
+				if bcap.active(name, p) {
+					res, events := sys.TraceMakespanCommDynamic(opts, sc, cm)
+					if err := bcap.observe(matrix, "comm", name, p, cm, tc.TotalVol(), res, events); err != nil {
+						return err
+					}
+				}
 			}
 		}
 	case "tile2d":
@@ -271,6 +385,12 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, ob
 					fmt.Sprintf("%.4f", s2.Imbalance()), fmt.Sprint(comp.Makespan),
 					fmt.Sprint(cs.Makespan), fmt.Sprint(cd.Makespan)); err != nil {
 					return err
+				}
+				if bcap.active(choice, p) {
+					res, events := sys.TraceMakespan2DCommDynamic(s2, cm)
+					if err := bcap.observe(matrix, "tile2d", choice, p, cm, tr.Total, res, events); err != nil {
+						return err
+					}
 				}
 			}
 		}

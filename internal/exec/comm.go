@@ -38,7 +38,16 @@ func (c CommModel) Cost(vol, msgs int64) int64 {
 // added. vol and msgs may be nil (no communication charged for that term);
 // when non-nil they must align with tasks by ID.
 func InflateTasks(tasks []Task, cm CommModel, vol, msgs []int64) ([]Task, int64) {
+	out, _, comm := inflateTasks(tasks, cm, vol, msgs)
+	return out, comm
+}
+
+// inflateTasks is InflateTasks plus the per-task comm vector, which the
+// probe-aware simulators use to split each event's duration into compute
+// and communication.
+func inflateTasks(tasks []Task, cm CommModel, vol, msgs []int64) ([]Task, []int64, int64) {
 	out := make([]Task, len(tasks))
+	per := make([]int64, len(tasks))
 	var comm int64
 	for i, t := range tasks {
 		out[i] = t
@@ -51,9 +60,10 @@ func InflateTasks(tasks []Task, cm CommModel, vol, msgs []int64) ([]Task, int64)
 		}
 		c := cm.Cost(v, m)
 		out[i].Work = t.Work + c
+		per[i] = c
 		comm += c
 	}
-	return out, comm
+	return out, per, comm
 }
 
 // SimulateMakespanComm runs the static-order list simulation with
@@ -62,8 +72,15 @@ func InflateTasks(tasks []Task, cm CommModel, vol, msgs []int64) ([]Task, int64)
 // The result's TotalWork (and hence Efficiency) counts comm time as busy
 // time; Comm reports the communication share.
 func SimulateMakespanComm(tasks []Task, p int, cm CommModel, vol, msgs []int64) SimResult {
-	inflated, comm := InflateTasks(tasks, cm, vol, msgs)
-	res := SimulateMakespan(inflated, p)
+	return SimulateMakespanCommProbe(tasks, p, cm, vol, msgs, nil)
+}
+
+// SimulateMakespanCommProbe is SimulateMakespanComm with a tracing probe
+// attached; each event's duration is split into its compute and comm
+// shares. A nil probe reproduces SimulateMakespanComm bit for bit.
+func SimulateMakespanCommProbe(tasks []Task, p int, cm CommModel, vol, msgs []int64, probe Probe) SimResult {
+	inflated, per, comm := inflateTasks(tasks, cm, vol, msgs)
+	res := simulateStatic(inflated, p, per, probe)
 	res.Comm = comm
 	return res
 }
@@ -71,8 +88,16 @@ func SimulateMakespanComm(tasks []Task, p int, cm CommModel, vol, msgs []int64) 
 // SimulateMakespanDynamicComm is SimulateMakespanComm with the dynamic
 // critical-path-priority ready queue of SimulateMakespanDynamic.
 func SimulateMakespanDynamicComm(tasks []Task, p int, cm CommModel, vol, msgs []int64) SimResult {
-	inflated, comm := InflateTasks(tasks, cm, vol, msgs)
-	res := SimulateMakespanDynamic(inflated, p)
+	return SimulateMakespanDynamicCommProbe(tasks, p, cm, vol, msgs, nil)
+}
+
+// SimulateMakespanDynamicCommProbe is SimulateMakespanDynamicComm with a
+// tracing probe attached; each event's duration is split into its compute
+// and comm shares. A nil probe reproduces SimulateMakespanDynamicComm bit
+// for bit.
+func SimulateMakespanDynamicCommProbe(tasks []Task, p int, cm CommModel, vol, msgs []int64, probe Probe) SimResult {
+	inflated, per, comm := inflateTasks(tasks, cm, vol, msgs)
+	res := simulateDynamic(inflated, p, per, probe)
 	res.Comm = comm
 	return res
 }

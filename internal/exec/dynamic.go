@@ -16,6 +16,22 @@ import (
 // here) and stalls intrinsic to the dependency graph and assignment
 // (not recoverable by any intra-processor reordering).
 func SimulateMakespanDynamic(tasks []Task, p int) SimResult {
+	return simulateDynamic(tasks, p, nil, nil)
+}
+
+// SimulateMakespanDynamicProbe is SimulateMakespanDynamic with a tracing
+// probe attached: one TaskEvent per task, emitted at its start time (so
+// events arrive ordered by start within each processor). A nil probe is
+// allowed and reproduces SimulateMakespanDynamic bit for bit.
+func SimulateMakespanDynamicProbe(tasks []Task, p int, probe Probe) SimResult {
+	return simulateDynamic(tasks, p, nil, probe)
+}
+
+// simulateDynamic is the event-driven simulation shared by the
+// compute-only and comm-aware entry points. comm, when non-nil, holds the
+// communication share of each task's Work (already included in it) so
+// events can split the duration; it never changes the simulated times.
+func simulateDynamic(tasks []Task, p int, comm []int64, probe Probe) SimResult {
 	n := len(tasks)
 	// Bottom levels, successors and indegrees.
 	succs := make([][]int32, n)
@@ -50,6 +66,18 @@ func SimulateMakespanDynamic(tasks []Task, p int) SimResult {
 			heap.Push(&ready[pr], heapItem{id: int32(i), prio: bottom[i]})
 		}
 	}
+	// Probe-only state: the finish time of each processor's last completed
+	// task (for stall gaps) and the predecessor whose completion made each
+	// task ready (the dependency a stalled start is attributed to).
+	var lastFinish []int64
+	var readyCause []int32
+	if probe != nil {
+		lastFinish = make([]int64, p)
+		readyCause = make([]int32, n)
+		for i := range readyCause {
+			readyCause[i] = -1
+		}
+	}
 	procBusyUntil := make([]int64, p) // completion time of the running task
 	running := make([]int32, p)       // task id or -1
 	for i := range running {
@@ -65,6 +93,26 @@ func SimulateMakespanDynamic(tasks []Task, p int) SimResult {
 		it := heap.Pop(&ready[proc]).(heapItem)
 		running[proc] = it.id
 		procBusyUntil[proc] = now + tasks[it.id].Work
+		if probe != nil {
+			stall := now - lastFinish[proc]
+			cause := int32(-1)
+			if stall > 0 {
+				// The processor idled past its last finish, so this task
+				// started the moment it became ready: the readying
+				// predecessor is the dependency it stalled on.
+				cause = readyCause[it.id]
+			}
+			var c int64
+			if comm != nil {
+				c = comm[it.id]
+			}
+			probe.OnTask(TaskEvent{
+				Task: it.id, Proc: int32(proc),
+				Start: now, Finish: procBusyUntil[proc],
+				Work: tasks[it.id].Work - c, Comm: c,
+				Stall: stall, Cause: cause,
+			})
+		}
 		heap.Push(&eventQ, event{t: procBusyUntil[proc], proc: int32(proc)})
 	}
 	for proc := 0; proc < p; proc++ {
@@ -84,12 +132,18 @@ func SimulateMakespanDynamic(tasks []Task, p int) SimResult {
 		}
 		running[proc] = -1
 		remaining--
+		if probe != nil {
+			lastFinish[proc] = now
+		}
 		if now > span {
 			span = now
 		}
 		for _, s := range succs[done] {
 			indeg[s]--
 			if indeg[s] == 0 {
+				if probe != nil {
+					readyCause[s] = done
+				}
 				sp := tasks[s].Proc
 				heap.Push(&ready[sp], heapItem{id: s, prio: bottom[s]})
 				if running[sp] == -1 {
@@ -99,14 +153,7 @@ func SimulateMakespanDynamic(tasks []Task, p int) SimResult {
 		}
 		start(proc)
 	}
-	res := SimResult{P: p, Makespan: span, TotalWork: total}
-	res.Idle = int64(p)*span - total
-	if span > 0 {
-		res.Efficiency = float64(total) / (float64(p) * float64(span))
-	} else {
-		res.Efficiency = 1
-	}
-	return res
+	return finalize(p, span, total)
 }
 
 type heapItem struct {

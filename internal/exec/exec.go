@@ -59,6 +59,21 @@ type SimResult struct {
 // IDs); both the unit-block and the column task graphs satisfy this by
 // construction.
 func SimulateMakespan(tasks []Task, p int) SimResult {
+	return simulateStatic(tasks, p, nil, nil)
+}
+
+// SimulateMakespanProbe is SimulateMakespan with a tracing probe attached:
+// one TaskEvent per task, emitted in scan (ID) order. A nil probe is
+// allowed and reproduces SimulateMakespan bit for bit.
+func SimulateMakespanProbe(tasks []Task, p int, probe Probe) SimResult {
+	return simulateStatic(tasks, p, nil, probe)
+}
+
+// simulateStatic is the static-order list simulation shared by the
+// compute-only and comm-aware entry points. comm, when non-nil, holds the
+// communication share of each task's Work (already included in it) so
+// events can split the duration; it never changes the simulated times.
+func simulateStatic(tasks []Task, p int, comm []int64, probe Probe) SimResult {
 	procFree := make([]int64, p)
 	finish := make([]int64, len(tasks))
 	var total int64
@@ -67,18 +82,33 @@ func SimulateMakespan(tasks []Task, p int) SimResult {
 		if t.ID != i {
 			panic(fmt.Sprintf("exec: task %d out of order", t.ID))
 		}
-		start := procFree[t.Proc]
+		free := procFree[t.Proc]
+		start := free
+		cause := int32(-1)
 		for _, pr := range t.Preds {
 			if int(pr) >= i {
 				panic(fmt.Sprintf("exec: task %d depends on later task %d", i, pr))
 			}
 			if finish[pr] > start {
 				start = finish[pr]
+				cause = pr
 			}
 		}
 		finish[i] = start + t.Work
 		procFree[t.Proc] = finish[i]
 		total += t.Work
+		if probe != nil {
+			var c int64
+			if comm != nil {
+				c = comm[i]
+			}
+			probe.OnTask(TaskEvent{
+				Task: int32(i), Proc: t.Proc,
+				Start: start, Finish: finish[i],
+				Work: t.Work - c, Comm: c,
+				Stall: start - free, Cause: cause,
+			})
+		}
 	}
 	var span int64
 	for _, f := range procFree {
@@ -86,14 +116,7 @@ func SimulateMakespan(tasks []Task, p int) SimResult {
 			span = f
 		}
 	}
-	res := SimResult{P: p, Makespan: span, TotalWork: total}
-	res.Idle = int64(p)*span - total
-	if span > 0 {
-		res.Efficiency = float64(total) / (float64(p) * float64(span))
-	} else {
-		res.Efficiency = 1
-	}
-	return res
+	return finalize(p, span, total)
 }
 
 // BlockTasks converts a partitioned, scheduled factorization into makespan

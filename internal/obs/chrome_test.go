@@ -1,0 +1,178 @@
+package obs_test
+
+// Chrome trace export: the golden test pins the emitted bytes (field
+// order, indentation, metadata shape), and the shape test checks the
+// Perfetto-relevant structural requirements on a real simulation — one
+// named lane per processor and globally non-decreasing timestamps.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a tiny deterministic run: two processors, one plain
+// compute task, one with a comm tail, and one dependency-stalled task.
+func goldenEvents() ([]exec.TaskEvent, int) {
+	return []exec.TaskEvent{
+		{Task: 0, Proc: 0, Start: 0, Finish: 10, Work: 10, Cause: -1},
+		{Task: 1, Proc: 1, Start: 0, Finish: 8, Work: 6, Comm: 2, Cause: -1},
+		{Task: 2, Proc: 1, Start: 10, Finish: 18, Work: 5, Comm: 3, Stall: 2, Cause: 0},
+	}, 2
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	events, p := goldenEvents()
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events, p); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden (run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// chromeDoc mirrors the emitted JSON for structural checks.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestChromeTraceShape: on a real traced simulation the export has
+// exactly one thread_name metadata record per processor (naming the
+// lane), every slice lands on a valid lane with non-negative duration,
+// timestamps are globally non-decreasing past the metadata prologue, and
+// the task-slice count matches the task count.
+func TestChromeTraceShape(t *testing.T) {
+	sys := newSys(t, gen.Grid9(6, 6))
+	const p = 4
+	res, events := tracedRun(t, sys, "wrap", p, "commdynamic", exec.CommModel{Alpha: 2, Beta: 10})
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events, res.P); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < p {
+		t.Fatalf("only %d events emitted", len(doc.TraceEvents))
+	}
+	for proc := 0; proc < p; proc++ {
+		meta := doc.TraceEvents[proc]
+		if meta.Ph != "M" || meta.Name != "thread_name" || meta.Tid != proc {
+			t.Fatalf("prologue entry %d is %+v, want thread_name metadata for tid %d", proc, meta, proc)
+		}
+		if name, _ := meta.Args["name"].(string); name != fmt.Sprintf("P%02d", proc) {
+			t.Errorf("lane %d named %q, want %q", proc, name, fmt.Sprintf("P%02d", proc))
+		}
+	}
+	tasks := 0
+	lastTs := int64(-1)
+	for _, ev := range doc.TraceEvents[p:] {
+		if ev.Ph != "X" {
+			t.Errorf("non-slice event %+v after metadata prologue", ev)
+		}
+		if ev.Tid < 0 || ev.Tid >= p {
+			t.Errorf("slice %q on lane %d of %d", ev.Name, ev.Tid, p)
+		}
+		if ev.Ts < lastTs {
+			t.Errorf("timestamp regressed: %d after %d (%q)", ev.Ts, lastTs, ev.Name)
+		}
+		lastTs = ev.Ts
+		if ev.Dur < 0 {
+			t.Errorf("slice %q has negative duration %d", ev.Name, ev.Dur)
+		}
+		if ev.Cat == "task" {
+			tasks++
+		}
+	}
+	if tasks != len(events) {
+		t.Errorf("%d task slices for %d traced tasks", tasks, len(events))
+	}
+}
+
+// TestWriteTraceDispatch: the format switch serves both formats and
+// refuses unknown names with the supported list.
+func TestWriteTraceDispatch(t *testing.T) {
+	events, p := goldenEvents()
+	res := exec.SimResult{P: p, Makespan: 18}
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, "chrome", events, res); err != nil {
+		t.Errorf("chrome: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("chrome dispatch produced invalid JSON")
+	}
+	buf.Reset()
+	if err := obs.WriteTrace(&buf, "gantt", events, res); err != nil {
+		t.Errorf("gantt: %v", err)
+	}
+	if !strings.Contains(buf.String(), "gantt:") {
+		t.Errorf("gantt dispatch output: %q", buf.String())
+	}
+	err := obs.WriteTrace(&buf, "svg", events, res)
+	if err == nil || !strings.Contains(err.Error(), "chrome") {
+		t.Errorf("unknown format error = %v, want one listing supported formats", err)
+	}
+	if got := obs.TraceFormats(); len(got) != 2 || got[0] != "chrome" || got[1] != "gantt" {
+		t.Errorf("TraceFormats() = %v", got)
+	}
+}
+
+// TestGantt pins the ASCII chart cell-exactly on the golden events
+// (makespan 20 over 20 cells makes one cell one time unit).
+func TestGantt(t *testing.T) {
+	events, p := goldenEvents()
+	out := obs.Gantt(events, p, 20, 20)
+	want := strings.Join([]string{
+		"gantt: P=2 makespan=20 (20 cells, #=compute ~=comm %=stall .=idle)",
+		"P00 |##########..........|",
+		"P01 |######~~%%#####~~~..|",
+		"",
+	}, "\n")
+	if out != want {
+		t.Errorf("gantt chart:\n%s\nwant:\n%s", out, want)
+	}
+	// Degenerate inputs: zero makespan renders all-idle rows, and a
+	// non-positive width falls back to the 80-cell default.
+	out = obs.Gantt(nil, 2, 0, 10)
+	if !strings.Contains(out, "P00 |..........|") {
+		t.Errorf("zero-makespan chart:\n%s", out)
+	}
+	out = obs.Gantt(events, p, 20, 0)
+	if !strings.Contains(out, "(80 cells") {
+		t.Errorf("default width chart header:\n%s", out)
+	}
+}

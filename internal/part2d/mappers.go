@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/strategy"
 	"repro/internal/traffic"
@@ -118,15 +119,16 @@ func (rect2dMapper) Map2D(sys *strategy.Sys, p int, opts strategy.Options) (*Sch
 	if budget <= 0 {
 		budget = defaultRect2DEvals
 	}
-	owner := trafficGuardedOwners(sys, p, bounds, budget)
+	owner := trafficGuardedOwners(sys, p, bounds, budget, opts.Search)
 	return New(sys.F, sys.ElemWork, p, bounds, owner)
 }
 
 // trafficGuardedOwners runs the rect2d descent: flattened start, then
 // traffic-guarded single-tile moves, heaviest tiles first, within the
 // evaluation budget. Element ownership is maintained incrementally so
-// each trial costs one traffic simulation.
-func trafficGuardedOwners(sys *strategy.Sys, p int, bounds []int, budget int) []int32 {
+// each trial costs one traffic simulation. tel, when non-nil, records one
+// trial per evaluation and the traffic trajectory of the kept moves.
+func trafficGuardedOwners(sys *strategy.Sys, p int, bounds []int, budget int, tel *obs.SearchTelemetry) []int32 {
 	f := sys.F
 	r := len(bounds) - 1
 	tw := TileWork(f, sys.ElemWork, bounds)
@@ -174,6 +176,7 @@ func trafficGuardedOwners(sys *strategy.Sys, p int, bounds []int, budget int) []
 		return s
 	}
 	cur := traffic.Simulate(sys.Ops, sc).Total
+	tel.Objective(cur)
 	offs := make([]int, 0, len(tw)-r)
 	for rr := 1; rr < r; rr++ {
 		for cc := 0; cc < rr; cc++ {
@@ -212,9 +215,12 @@ func trafficGuardedOwners(sys *strategy.Sys, p int, bounds []int, budget int) []
 			nt := traffic.Simulate(sys.Ops, sc).Total
 			if nt < cur || (nt == cur && sumsq() < before) {
 				cur = nt
+				tel.Trial(true)
+				tel.Objective(nt)
 				break
 			}
 			setOwner(id, src)
+			tel.Trial(false)
 			if evals >= budget {
 				break
 			}

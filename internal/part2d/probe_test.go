@@ -1,0 +1,123 @@
+package part2d
+
+// Probe regression for the 2D tile simulators: tracing must not perturb
+// any of the four makespan variants, and the degenerate-geometry edge
+// cases (P far above the tile count) must keep Idle non-negative and
+// Efficiency within (0, 1].
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/strategy"
+)
+
+// TestProbe2DBitIdentity: every native 2D mapper at P in {1, 4, 16} on
+// LAP30 returns bit-identical SimResults untraced, with a nil probe, and
+// with a Tracer attached, for all four 2D simulators; the event stream
+// covers every merged tile-segment task exactly once and satisfies the
+// duration and stall/cause invariants.
+func TestProbe2DBitIdentity(t *testing.T) {
+	sys := lapSys(t)
+	cm := exec.CommModel{Alpha: 2, Beta: 10}
+	for _, name := range []string{"rect2d", "rect2dcyclic", "rect2dlpt"} {
+		for _, p := range []int{1, 4, 16} {
+			s2, err := Map2D(name, sys, p, strategy.Options{})
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", name, p, err)
+			}
+			tasks, _ := Tasks(sys.Ops, sys.ElemWork, s2)
+			ntasks := len(tasks)
+			variants := []struct {
+				kind   string
+				plain  func() exec.SimResult
+				probed func(exec.Probe) exec.SimResult
+			}{
+				{"static",
+					func() exec.SimResult { return Makespan(sys.Ops, sys.ElemWork, s2) },
+					func(pr exec.Probe) exec.SimResult { return MakespanProbe(sys.Ops, sys.ElemWork, s2, pr) }},
+				{"dynamic",
+					func() exec.SimResult { return MakespanDynamic(sys.Ops, sys.ElemWork, s2) },
+					func(pr exec.Probe) exec.SimResult { return MakespanDynamicProbe(sys.Ops, sys.ElemWork, s2, pr) }},
+				{"comm",
+					func() exec.SimResult { return MakespanComm(sys.Ops, sys.ElemWork, s2, cm) },
+					func(pr exec.Probe) exec.SimResult {
+						return MakespanCommProbe(sys.Ops, sys.ElemWork, s2, cm, pr)
+					}},
+				{"commdynamic",
+					func() exec.SimResult { return MakespanCommDynamic(sys.Ops, sys.ElemWork, s2, cm) },
+					func(pr exec.Probe) exec.SimResult {
+						return MakespanCommDynamicProbe(sys.Ops, sys.ElemWork, s2, cm, pr)
+					}},
+			}
+			for _, v := range variants {
+				label := fmt.Sprintf("%s P=%d %s", name, p, v.kind)
+				want := v.plain()
+				if got := v.probed(nil); got != want {
+					t.Errorf("%s: nil probe %+v != untraced %+v", label, got, want)
+				}
+				tr := obs.NewTracer()
+				if got := v.probed(tr); got != want {
+					t.Errorf("%s: traced %+v != untraced %+v", label, got, want)
+				}
+				if len(tr.Events) != ntasks {
+					t.Errorf("%s: %d events for %d tasks", label, len(tr.Events), ntasks)
+					continue
+				}
+				var total int64
+				for _, ev := range tr.Events {
+					if ev.Proc < 0 || int(ev.Proc) >= p {
+						t.Fatalf("%s: task %d on processor %d of %d", label, ev.Task, ev.Proc, p)
+					}
+					if ev.Finish-ev.Start != ev.Work+ev.Comm {
+						t.Fatalf("%s: task %d duration %d != work %d + comm %d",
+							label, ev.Task, ev.Finish-ev.Start, ev.Work, ev.Comm)
+					}
+					if (ev.Stall > 0) != (ev.Cause >= 0) {
+						t.Fatalf("%s: task %d stall %d with cause %d", label, ev.Task, ev.Stall, ev.Cause)
+					}
+					total += ev.Work + ev.Comm
+				}
+				if total != want.TotalWork {
+					t.Errorf("%s: event durations sum to %d, TotalWork %d", label, total, want.TotalWork)
+				}
+			}
+		}
+	}
+}
+
+// TestMakespan2DDegenerateGeometry pins the SimResult edge cases on the
+// 2D side: with far more processors than tiles (a 3x3 grid on P=16) every
+// simulator must keep Idle = P*Makespan - TotalWork non-negative and
+// Efficiency in (0, 1]; tracing the runs stays bit-identical.
+func TestMakespan2DDegenerateGeometry(t *testing.T) {
+	sys := newTestSys(t, gen.Grid9(3, 3))
+	cm := exec.CommModel{Alpha: 2, Beta: 10}
+	const p = 16
+	for _, name := range []string{"rect2d", "rect2dcyclic", "rect2dlpt"} {
+		s2, err := Map2D(name, sys, p, strategy.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for kind, res := range map[string]exec.SimResult{
+			"static":      Makespan(sys.Ops, sys.ElemWork, s2),
+			"dynamic":     MakespanDynamic(sys.Ops, sys.ElemWork, s2),
+			"comm":        MakespanComm(sys.Ops, sys.ElemWork, s2, cm),
+			"commdynamic": MakespanCommDynamic(sys.Ops, sys.ElemWork, s2, cm),
+		} {
+			if res.Idle < 0 {
+				t.Errorf("%s %s: negative idle %d", name, kind, res.Idle)
+			}
+			if res.Efficiency <= 0 || res.Efficiency > 1 {
+				t.Errorf("%s %s: efficiency %g outside (0, 1]", name, kind, res.Efficiency)
+			}
+			if res.Makespan > 0 && res.Idle != int64(res.P)*res.Makespan-res.TotalWork {
+				t.Errorf("%s %s: idle %d != P*Makespan - TotalWork = %d",
+					name, kind, res.Idle, int64(res.P)*res.Makespan-res.TotalWork)
+			}
+		}
+	}
+}

@@ -109,15 +109,27 @@ func FetchStats(ops *model.Ops, s *Schedule2D, ntasks int, elemTask []int32) *tr
 // Makespan simulates dependency-delay execution of a 2D schedule with the
 // static-order list simulation over the merged tile-segment tasks.
 func Makespan(ops *model.Ops, elemWork []int64, s *Schedule2D) exec.SimResult {
+	return MakespanProbe(ops, elemWork, s, nil)
+}
+
+// MakespanProbe is Makespan with a tracing probe attached (one
+// exec.TaskEvent per merged tile-segment task). A nil probe reproduces
+// Makespan bit for bit.
+func MakespanProbe(ops *model.Ops, elemWork []int64, s *Schedule2D, probe exec.Probe) exec.SimResult {
 	tasks, _ := Tasks(ops, elemWork, s)
-	return exec.SimulateMakespan(tasks, s.P)
+	return exec.SimulateMakespanProbe(tasks, s.P, probe)
 }
 
 // MakespanDynamic is Makespan with the dynamic critical-path-priority
 // ready queue on each processor.
 func MakespanDynamic(ops *model.Ops, elemWork []int64, s *Schedule2D) exec.SimResult {
+	return MakespanDynamicProbe(ops, elemWork, s, nil)
+}
+
+// MakespanDynamicProbe is MakespanDynamic with a tracing probe attached.
+func MakespanDynamicProbe(ops *model.Ops, elemWork []int64, s *Schedule2D, probe exec.Probe) exec.SimResult {
 	tasks, _ := Tasks(ops, elemWork, s)
-	return exec.SimulateMakespanDynamic(tasks, s.P)
+	return exec.SimulateMakespanDynamicProbe(tasks, s.P, probe)
 }
 
 // MakespanComm simulates dependency-delay execution with
@@ -126,15 +138,28 @@ func MakespanDynamic(ops *model.Ops, elemWork []int64, s *Schedule2D) exec.SimRe
 // FetchStats attributes to it. With a zero model the result is identical
 // to Makespan.
 func MakespanComm(ops *model.Ops, elemWork []int64, s *Schedule2D, cm exec.CommModel) exec.SimResult {
+	return MakespanCommProbe(ops, elemWork, s, cm, nil)
+}
+
+// MakespanCommProbe is MakespanComm with a tracing probe attached; events
+// split each task's duration into its compute and comm shares.
+func MakespanCommProbe(ops *model.Ops, elemWork []int64, s *Schedule2D, cm exec.CommModel, probe exec.Probe) exec.SimResult {
 	tasks, elemTask := Tasks(ops, elemWork, s)
 	tc := FetchStats(ops, s, len(tasks), elemTask)
-	return exec.SimulateMakespanComm(tasks, s.P, cm, tc.Vol, tc.Msgs)
+	return exec.SimulateMakespanCommProbe(tasks, s.P, cm, tc.Vol, tc.Msgs, probe)
 }
 
 // MakespanCommDynamic is MakespanComm with the dynamic ready queue; with a
 // zero model it is identical to MakespanDynamic.
 func MakespanCommDynamic(ops *model.Ops, elemWork []int64, s *Schedule2D, cm exec.CommModel) exec.SimResult {
+	return MakespanCommDynamicProbe(ops, elemWork, s, cm, nil)
+}
+
+// MakespanCommDynamicProbe is MakespanCommDynamic with a tracing probe
+// attached; events split each task's duration into its compute and comm
+// shares.
+func MakespanCommDynamicProbe(ops *model.Ops, elemWork []int64, s *Schedule2D, cm exec.CommModel, probe exec.Probe) exec.SimResult {
 	tasks, elemTask := Tasks(ops, elemWork, s)
 	tc := FetchStats(ops, s, len(tasks), elemTask)
-	return exec.SimulateMakespanDynamicComm(tasks, s.P, cm, tc.Vol, tc.Msgs)
+	return exec.SimulateMakespanDynamicCommProbe(tasks, s.P, cm, tc.Vol, tc.Msgs, probe)
 }

@@ -3,6 +3,7 @@ package strategy
 import (
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/traffic"
 )
@@ -52,7 +53,7 @@ func (contigTotalMapper) Map(sys *Sys, p int, opts Options) (*sched.Schedule, er
 		beta2 = 0
 	}
 	refs := traffic.ColumnRefs(sys.Ops)
-	bounds := ContiguousSplitTotal(work, refs, p, bound, beta2)
+	bounds := contiguousSplitTotal(work, refs, p, bound, beta2, opts.Search)
 	return columnSchedule(sys, p, ownersFromBounds(sys.F.N, bounds)), nil
 }
 
@@ -87,6 +88,14 @@ func init() { Register(contigTotalMapper{}) }
 // with beta2 = 0 every value is an exactly-representable integer, so the
 // float DP's decisions coincide with the original integer DP's.
 func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork int64, beta2 float64) []int {
+	return contiguousSplitTotal(work, refs, p, maxWork, beta2, nil)
+}
+
+// contiguousSplitTotal is ContiguousSplitTotal plus search telemetry: tel
+// counts every DP transition relaxation as a trial (accepted when it
+// improved the layer's best) and records the optimal objective as the
+// trajectory's final point.
+func contiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork int64, beta2 float64, tel *obs.SearchTelemetry) []int {
 	mustProcs(p)
 	n := len(work)
 	bounds := make([]int, p+1)
@@ -152,6 +161,9 @@ func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork 
 				if cand := dp[i] + c; cand < next[j] {
 					next[j] = cand
 					par[k][j] = int32(i)
+					tel.Trial(true)
+				} else {
+					tel.Trial(false)
 				}
 			}
 		}
@@ -160,6 +172,7 @@ func ContiguousSplitTotal(work []int64, refs [][]traffic.ColRef, p int, maxWork 
 	if math.IsInf(dp[n], 1) {
 		return nil
 	}
+	tel.Objective(int64(dp[n]))
 	at := n
 	for k := p; k >= 1; k-- {
 		bounds[k] = at

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -28,8 +29,8 @@ type objectiveFunc func(sys *Sys, opts Options, sc *sched.Schedule, mv []movable
 // dispatch and its unknown-objective error message from it, so a new
 // objective registered here is automatically reachable and advertised.
 var objectives = map[string]objectiveFunc{
-	"imbalance": func(_ *Sys, _ Options, sc *sched.Schedule, mv []movable, own []int32, maxMoves int) {
-		refineImbalance(sc, mv, own, maxMoves)
+	"imbalance": func(_ *Sys, opts Options, sc *sched.Schedule, mv []movable, own []int32, maxMoves int) {
+		refineImbalance(sc, mv, own, maxMoves, opts.Search)
 	},
 	"traffic":  refineTraffic,
 	"commspan": refineCommspan,
@@ -173,8 +174,9 @@ func move(sc *sched.Schedule, mv []movable, own []int32, u int, dst int32) {
 // the least-loaded one when that strictly lowers the pair's bottleneck
 // without raising the global maximum; each accepted move strictly
 // decreases the sum of squared processor loads, so the pass terminates
-// and the imbalance factor A never increases.
-func refineImbalance(sc *sched.Schedule, mv []movable, own []int32, maxMoves int) {
+// and the imbalance factor A never increases. tel, when non-nil, records
+// one accepted trial per move and the bottleneck-work trajectory.
+func refineImbalance(sc *sched.Schedule, mv []movable, own []int32, maxMoves int, tel *obs.SearchTelemetry) {
 	if maxMoves <= 0 {
 		maxMoves = defaultImbalanceMoves
 	}
@@ -182,6 +184,16 @@ func refineImbalance(sc *sched.Schedule, mv []movable, own []int32, maxMoves int
 	if p < 2 {
 		return
 	}
+	bottleneck := func() int64 {
+		var m int64
+		for _, w := range sc.Work {
+			if w > m {
+				m = w
+			}
+		}
+		return m
+	}
+	tel.Objective(bottleneck())
 	// byProc[k] lists the movables currently on processor k.
 	byProc := make([][]int, p)
 	for u := range mv {
@@ -239,6 +251,8 @@ func refineImbalance(sc *sched.Schedule, mv []movable, own []int32, maxMoves int
 			byProc[dst] = append(byProc[dst], best)
 			moves++
 			moved = true
+			tel.Trial(true)
+			tel.Objective(bottleneck())
 			break
 		}
 		if !moved {
@@ -291,6 +305,7 @@ func refineTraffic(sys *Sys, opts Options, sc *sched.Schedule, mv []movable, own
 	}
 	simulate := func() int64 { return Traffic(sys, opts, sc).Total }
 	cur := simulate()
+	opts.Search.Objective(cur)
 	succs := buildSuccs(mv)
 	tally := make([]int64, sc.P)
 	moves := 0
@@ -313,8 +328,11 @@ func refineTraffic(sys *Sys, opts Options, sc *sched.Schedule, mv []movable, own
 			if t := simulate(); t < cur {
 				cur = t
 				improved = true
+				opts.Search.Trial(true)
+				opts.Search.Objective(t)
 			} else {
 				move(sc, mv, own, u, src)
+				opts.Search.Trial(false)
 			}
 		}
 		if !improved {
@@ -347,6 +365,7 @@ func refineCommspan(sys *Sys, opts Options, sc *sched.Schedule, mv []movable, ow
 		return exec.SimulateMakespanDynamicComm(tasks, sc.P, opts.Comm, tc.Vol, tc.Msgs).Makespan
 	}
 	cur := eval()
+	opts.Search.Objective(cur)
 	succs := buildSuccs(mv)
 	tally := make([]int64, sc.P)
 	moves := 0
@@ -372,10 +391,13 @@ func refineCommspan(sys *Sys, opts Options, sc *sched.Schedule, mv []movable, ow
 				if t := eval(); t < cur {
 					cur = t
 					improved = true
+					opts.Search.Trial(true)
+					opts.Search.Objective(t)
 					break
 				}
 				move(sc, mv, own, u, src)
 				tasks[u].Proc = src
+				opts.Search.Trial(false)
 				if moves >= maxMoves {
 					return
 				}

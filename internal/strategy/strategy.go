@@ -61,6 +61,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/symbolic"
 	"repro/internal/traffic"
@@ -174,6 +175,11 @@ type Options struct {
 	// charges nothing, making commspan minimize the compute-only dynamic
 	// span.
 	Comm exec.CommModel
+	// Search, when non-nil, collects search telemetry (trial moves,
+	// accept/reject counts, the objective trajectory) from the strategies
+	// that search: the refine hill-climbs and the contigtotal DP. Mapping
+	// results are unaffected; nil (the default) records nothing.
+	Search *obs.SearchTelemetry
 }
 
 // Mapper is one partitioning/mapping strategy. Map assigns the
@@ -348,13 +354,24 @@ func FetchStats(sys *Sys, opts Options, sc *sched.Schedule) *traffic.TaskComm {
 // unit-block tasks for block-granular schedules, column tasks otherwise.
 // opts must be the Options the schedule was mapped with.
 func Makespan(sys *Sys, opts Options, sc *sched.Schedule) exec.SimResult {
-	return exec.SimulateMakespan(Tasks(sys, opts, sc), sc.P)
+	return MakespanProbe(sys, opts, sc, nil)
+}
+
+// MakespanProbe is Makespan with a tracing probe attached (one
+// exec.TaskEvent per task). A nil probe reproduces Makespan bit for bit.
+func MakespanProbe(sys *Sys, opts Options, sc *sched.Schedule, probe exec.Probe) exec.SimResult {
+	return exec.SimulateMakespanProbe(Tasks(sys, opts, sc), sc.P, probe)
 }
 
 // MakespanDynamic is Makespan with the dynamic critical-path-priority
 // ready queue on each processor instead of static scan order.
 func MakespanDynamic(sys *Sys, opts Options, sc *sched.Schedule) exec.SimResult {
-	return exec.SimulateMakespanDynamic(Tasks(sys, opts, sc), sc.P)
+	return MakespanDynamicProbe(sys, opts, sc, nil)
+}
+
+// MakespanDynamicProbe is MakespanDynamic with a tracing probe attached.
+func MakespanDynamicProbe(sys *Sys, opts Options, sc *sched.Schedule, probe exec.Probe) exec.SimResult {
+	return exec.SimulateMakespanDynamicProbe(Tasks(sys, opts, sc), sc.P, probe)
 }
 
 // MakespanComm simulates dependency-delay execution with
@@ -362,13 +379,26 @@ func MakespanDynamic(sys *Sys, opts Options, sc *sched.Schedule) exec.SimResult 
 // work plus cm.Cost of the fetch volume and message count FetchStats
 // attributes to it. With a zero model the result is identical to Makespan.
 func MakespanComm(sys *Sys, opts Options, sc *sched.Schedule, cm exec.CommModel) exec.SimResult {
+	return MakespanCommProbe(sys, opts, sc, cm, nil)
+}
+
+// MakespanCommProbe is MakespanComm with a tracing probe attached; events
+// split each task's duration into its compute and comm shares.
+func MakespanCommProbe(sys *Sys, opts Options, sc *sched.Schedule, cm exec.CommModel, probe exec.Probe) exec.SimResult {
 	tc := FetchStats(sys, opts, sc)
-	return exec.SimulateMakespanComm(Tasks(sys, opts, sc), sc.P, cm, tc.Vol, tc.Msgs)
+	return exec.SimulateMakespanCommProbe(Tasks(sys, opts, sc), sc.P, cm, tc.Vol, tc.Msgs, probe)
 }
 
 // MakespanCommDynamic is MakespanComm with the dynamic ready queue; with a
 // zero model it is identical to MakespanDynamic.
 func MakespanCommDynamic(sys *Sys, opts Options, sc *sched.Schedule, cm exec.CommModel) exec.SimResult {
+	return MakespanCommDynamicProbe(sys, opts, sc, cm, nil)
+}
+
+// MakespanCommDynamicProbe is MakespanCommDynamic with a tracing probe
+// attached; events split each task's duration into its compute and comm
+// shares.
+func MakespanCommDynamicProbe(sys *Sys, opts Options, sc *sched.Schedule, cm exec.CommModel, probe exec.Probe) exec.SimResult {
 	tc := FetchStats(sys, opts, sc)
-	return exec.SimulateMakespanDynamicComm(Tasks(sys, opts, sc), sc.P, cm, tc.Vol, tc.Msgs)
+	return exec.SimulateMakespanDynamicCommProbe(Tasks(sys, opts, sc), sc.P, cm, tc.Vol, tc.Msgs, probe)
 }

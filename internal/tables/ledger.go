@@ -1,0 +1,74 @@
+package tables
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/part2d"
+	"repro/internal/strategy"
+)
+
+// BenchLedger benchmarks every registered mapping strategy — the 1D
+// registry with the paper's production partitioning knobs (grain 25,
+// width 4) and the native 2D mappers (col2d excluded, it is
+// parameterized) — on every problem and processor count, under the
+// comm-aware dynamic makespan simulation with cm. Each run is traced and
+// profiled, so every record carries the busy/comm/idle/stall breakdown
+// and the critical-path attribution next to the headline makespan,
+// traffic and efficiency numbers. The result is the machine-readable
+// BENCH_*.json payload CI archives per PR.
+func BenchLedger(problems []*Problem, procs []int, cm exec.CommModel) (*obs.Ledger, error) {
+	ledger := obs.NewLedger()
+	opts := strategy.Options{Part: core.Options{Grain: 25, MinClusterWidth: DefaultWidth}}
+	for _, p := range problems {
+		sys := p.StrategySys()
+		for _, np := range procs {
+			for _, name := range strategy.Names() {
+				sc, err := strategy.Map(name, sys, np, opts)
+				if err != nil {
+					return nil, fmt.Errorf("tables: ledger %s on %s P=%d: %w", name, p.Meta.Name, np, err)
+				}
+				tr := strategy.Traffic(sys, opts, sc)
+				tracer := obs.NewTracer()
+				res := strategy.MakespanCommDynamicProbe(sys, opts, sc, cm, tracer)
+				prof, err := obs.BuildProfile(tracer.Events, res)
+				if err != nil {
+					return nil, fmt.Errorf("tables: ledger %s on %s P=%d: %w", name, p.Meta.Name, np, err)
+				}
+				sum := prof.Summary()
+				ledger.Add(obs.BenchRecord{
+					Matrix: p.Meta.Name, Strategy: name, Kind: "strategy", P: np,
+					Alpha: cm.Alpha, Beta: cm.Beta,
+					Makespan: res.Makespan, Traffic: tr.Total, Efficiency: res.Efficiency,
+					Profile: &sum,
+				})
+			}
+			for _, name := range part2d.Names2D() {
+				if name == "col2d" {
+					continue // parameterized by a base; its lifts equal 1D rows
+				}
+				s2, err := part2d.Map2D(name, sys, np, strategy.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("tables: ledger %s on %s P=%d: %w", name, p.Meta.Name, np, err)
+				}
+				tr := part2d.Traffic(p.Ops, s2)
+				tracer := obs.NewTracer()
+				res := part2d.MakespanCommDynamicProbe(p.Ops, p.ElemWork, s2, cm, tracer)
+				prof, err := obs.BuildProfile(tracer.Events, res)
+				if err != nil {
+					return nil, fmt.Errorf("tables: ledger %s on %s P=%d: %w", name, p.Meta.Name, np, err)
+				}
+				sum := prof.Summary()
+				ledger.Add(obs.BenchRecord{
+					Matrix: p.Meta.Name, Strategy: name, Kind: "tile2d", P: np,
+					Alpha: cm.Alpha, Beta: cm.Beta,
+					Makespan: res.Makespan, Traffic: tr.Total, Efficiency: res.Efficiency,
+					Profile: &sum,
+				})
+			}
+		}
+	}
+	return ledger, nil
+}

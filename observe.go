@@ -1,0 +1,168 @@
+package repro
+
+// Observability surface: tracing probes for every makespan simulator,
+// execution profiles with critical-path attribution, Chrome trace / ASCII
+// Gantt export, search telemetry and the machine-readable bench ledger.
+// See internal/obs for the underlying layer; tracing is strictly opt-in
+// and a nil probe leaves every simulator bit-identical to its untraced
+// entry point.
+
+import (
+	"io"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/part2d"
+	"repro/internal/strategy"
+)
+
+// TraceEvent is one traced task execution: placement, timing, the
+// work/comm split of its duration, and the stall (with its causing
+// predecessor) the simulator charged before its start.
+type TraceEvent = exec.TaskEvent
+
+// Probe receives one TraceEvent per task from a traced simulation.
+type Probe = exec.Probe
+
+// Tracer is the standard Probe: it collects every event of one run.
+type Tracer = obs.Tracer
+
+// Profile aggregates a traced run: per-processor busy/comm/stall/idle
+// breakdown, idle-gap histogram, and the critical path with per-link
+// attribution to compute, communication, or the binding constraint.
+type Profile = obs.Profile
+
+// ProcProfile is one processor's time breakdown within a Profile.
+type ProcProfile = obs.ProcProfile
+
+// PathLink is one task on a Profile's critical path.
+type PathLink = obs.PathLink
+
+// SearchTelemetry collects trial counts and the objective trajectory of a
+// mapper search when attached via StrategyOptions.Search.
+type SearchTelemetry = obs.SearchTelemetry
+
+// BenchRecord is one benchmarked run in the ledger; BenchLedgerSchema
+// tags the format.
+type BenchRecord = obs.BenchRecord
+
+// Ledger is the machine-readable bench output (BENCH_*.json).
+type Ledger = obs.Ledger
+
+// BenchLedgerSchema is the ledger format tag ValidateLedger checks.
+const BenchLedgerSchema = obs.LedgerSchema
+
+// NewTracer returns an empty Tracer ready to attach to any traced
+// simulation entry point.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewLedger returns an empty bench ledger with the current schema tag.
+func NewLedger() *Ledger { return obs.NewLedger() }
+
+// ValidateLedger checks serialized ledger bytes: schema tag, at least one
+// record, every required key present (the CI archive gate).
+func ValidateLedger(data []byte) error { return obs.ValidateLedger(data) }
+
+// BuildProfile aggregates the complete event set of one traced simulation
+// into a Profile whose totals reconcile with res exactly.
+func BuildProfile(events []TraceEvent, res MakespanResult) (*Profile, error) {
+	return obs.BuildProfile(events, res)
+}
+
+// FormatProfile renders a Profile as a terminal report.
+func FormatProfile(p *Profile) string { return obs.FormatProfile(p) }
+
+// WriteChromeTrace exports traced events as Chrome trace-event JSON
+// (Perfetto-loadable), one lane per processor.
+func WriteChromeTrace(w io.Writer, events []TraceEvent, p int) error {
+	return obs.WriteChromeTrace(w, events, p)
+}
+
+// WriteTrace exports traced events in the named format ("chrome" or
+// "gantt"); unknown formats are refused.
+func WriteTrace(w io.Writer, format string, events []TraceEvent, res MakespanResult) error {
+	return obs.WriteTrace(w, format, events, res)
+}
+
+// Gantt renders traced events as an ASCII per-processor timeline.
+func Gantt(events []TraceEvent, p int, makespan int64, width int) string {
+	return obs.Gantt(events, p, makespan, width)
+}
+
+// TraceFormats lists the supported trace export formats.
+func TraceFormats() []string { return obs.TraceFormats() }
+
+// TraceMakespan is StrategyMakespan with tracing: it returns the result
+// plus one TraceEvent per task.
+func (s *System) TraceMakespan(opts StrategyOptions, sc *Schedule) (MakespanResult, []TraceEvent) {
+	t := obs.NewTracer()
+	res := strategy.MakespanProbe(s.strategySys(), opts, sc, t)
+	return res, t.Events
+}
+
+// TraceMakespanDynamic is StrategyMakespanDynamic with tracing.
+func (s *System) TraceMakespanDynamic(opts StrategyOptions, sc *Schedule) (MakespanResult, []TraceEvent) {
+	t := obs.NewTracer()
+	res := strategy.MakespanDynamicProbe(s.strategySys(), opts, sc, t)
+	return res, t.Events
+}
+
+// TraceMakespanComm is StrategyMakespanComm with tracing; each event
+// splits its duration into compute and communication.
+func (s *System) TraceMakespanComm(opts StrategyOptions, sc *Schedule, cm CommModel) (MakespanResult, []TraceEvent) {
+	t := obs.NewTracer()
+	res := strategy.MakespanCommProbe(s.strategySys(), opts, sc, cm, t)
+	return res, t.Events
+}
+
+// TraceMakespanCommDynamic is StrategyMakespanCommDynamic with tracing.
+func (s *System) TraceMakespanCommDynamic(opts StrategyOptions, sc *Schedule, cm CommModel) (MakespanResult, []TraceEvent) {
+	t := obs.NewTracer()
+	res := strategy.MakespanCommDynamicProbe(s.strategySys(), opts, sc, cm, t)
+	return res, t.Events
+}
+
+// TraceMakespan2D is Makespan2D with tracing over the merged tile-segment
+// tasks.
+func (s *System) TraceMakespan2D(sc *Schedule2D) (MakespanResult, []TraceEvent) {
+	t := obs.NewTracer()
+	res := part2d.MakespanProbe(s.ops, s.elemWork, sc, t)
+	return res, t.Events
+}
+
+// TraceMakespan2DDynamic is Makespan2DDynamic with tracing.
+func (s *System) TraceMakespan2DDynamic(sc *Schedule2D) (MakespanResult, []TraceEvent) {
+	t := obs.NewTracer()
+	res := part2d.MakespanDynamicProbe(s.ops, s.elemWork, sc, t)
+	return res, t.Events
+}
+
+// TraceMakespan2DComm is Makespan2DComm with tracing.
+func (s *System) TraceMakespan2DComm(sc *Schedule2D, cm CommModel) (MakespanResult, []TraceEvent) {
+	t := obs.NewTracer()
+	res := part2d.MakespanCommProbe(s.ops, s.elemWork, sc, cm, t)
+	return res, t.Events
+}
+
+// TraceMakespan2DCommDynamic is Makespan2DCommDynamic with tracing.
+func (s *System) TraceMakespan2DCommDynamic(sc *Schedule2D, cm CommModel) (MakespanResult, []TraceEvent) {
+	t := obs.NewTracer()
+	res := part2d.MakespanCommDynamicProbe(s.ops, s.elemWork, sc, cm, t)
+	return res, t.Events
+}
+
+// ProfileStrategy runs the comm-aware dynamic makespan simulation of a
+// strategy schedule under cm with tracing and aggregates the events into
+// a Profile (reconciling with the returned result exactly).
+func (s *System) ProfileStrategy(opts StrategyOptions, sc *Schedule, cm CommModel) (*Profile, MakespanResult, error) {
+	res, events := s.TraceMakespanCommDynamic(opts, sc, cm)
+	prof, err := obs.BuildProfile(events, res)
+	return prof, res, err
+}
+
+// ProfileStrategy2D is ProfileStrategy for a 2D tile schedule.
+func (s *System) ProfileStrategy2D(sc *Schedule2D, cm CommModel) (*Profile, MakespanResult, error) {
+	res, events := s.TraceMakespan2DCommDynamic(sc, cm)
+	prof, err := obs.BuildProfile(events, res)
+	return prof, res, err
+}
