@@ -5,10 +5,16 @@
 // BENCH_*.json, and -trace exports one simulated execution as a Chrome
 // trace (Perfetto-loadable) or an ASCII Gantt chart.
 //
+// With -measure it additionally runs the real parallel 2D engine
+// (bit-identity verified against the serial factor) and prints measured
+// wall-clock speedups next to the comm-aware predictions; the rows join
+// the ledger as kind "measure".
+//
 // Usage:
 //
 //	paperbench [-table 1|2|3|4|5|...|all|none]
 //	paperbench -table none -ledger BENCH_pr.json -matrix LAP30
+//	paperbench -table none -measure -repeats 2 -matrix LAP30 -ledger BENCH_measure.json
 //	paperbench -table none -trace trace.json -tracestrategy rect2dcyclic -traceprocs 64
 //	paperbench -checkledger BENCH_pr.json
 package main
@@ -41,12 +47,17 @@ func main() {
 	traceFormat := flag.String("traceformat", "chrome", "trace export format: "+strings.Join(repro.TraceFormats(), " or "))
 	traceStrategy := flag.String("tracestrategy", "wrap", "strategy of the traced run: a 1D strategy, a native 2D mapper, or col2d:<base>")
 	traceProcs := flag.Int("traceprocs", 16, "processor count of the traced run")
+	measure := flag.Bool("measure", false, "run the real parallel engine on every 2D strategy (-matrix or LAP30) and print measured vs predicted speedups; with -ledger the rows join the ledger as kind \"measure\"")
+	repeats := flag.Int("repeats", 3, "repeat-and-min count for -measure timings")
 	flag.Parse()
 	// !(x >= 0) also rejects NaN, which a plain x < 0 lets through.
 	if !(*alpha >= 0) || !(*beta >= 0) || math.IsInf(*alpha, 0) || math.IsInf(*beta, 0) {
 		log.Fatalf("invalid comm model: alpha=%g beta=%g (both must be finite and >= 0)", *alpha, *beta)
 	}
 	cm := exec.CommModel{Alpha: *alpha, Beta: *beta}
+	if *measure && *repeats < 1 {
+		log.Fatalf("invalid -repeats %d (want >= 1)", *repeats)
+	}
 
 	if *checkLedger != "" {
 		data, err := os.ReadFile(*checkLedger)
@@ -217,6 +228,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	var measured []tables.MeasureRow
+	if *measure {
+		mp := lap
+		if *matrix != "" {
+			for _, p := range ps {
+				if p.Meta.Name == *matrix {
+					mp = p
+				}
+			}
+		}
+		rows, err := tables.Measured(mp, tables.MeasureProcs, cm, *repeats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatMeasured(mp.Meta.Name, cm, rows))
+		measured = rows
+	}
+
 	if ledgerFile != nil {
 		bench := ps
 		if *matrix != "" {
@@ -230,6 +259,9 @@ func main() {
 		ledger, err := tables.BenchLedger(bench, tables.DefaultProcs, cm)
 		if err != nil {
 			log.Fatal(err)
+		}
+		for _, rec := range tables.MeasureRecords(measured, cm) {
+			ledger.Add(rec)
 		}
 		if err := ledger.Write(ledgerFile); err != nil {
 			log.Fatal(err)

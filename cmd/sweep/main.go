@@ -14,6 +14,7 @@
 //	sweep -kind comm     -matrix LAP30 -alpha 2 -beta 10 > comm.csv
 //	sweep -kind tile2d   -matrix LAP30 -alpha 2 -beta 10 > tile2d.csv
 //	sweep -kind tile2d   -strategy col2d:rectilinear -matrix LAP30
+//	sweep -kind measure  -matrix LAP30 -repeats 3 > measure.csv
 //	sweep -kind all      -out data/         # every series for every matrix
 //	sweep -kind strategy -matrix LAP30 -ledger BENCH_lap30.json
 //	sweep -kind tile2d   -strategy rect2dcyclic -procs 64 -trace trace.json
@@ -36,16 +37,17 @@ import (
 )
 
 var (
-	procsSweep = []int{1, 2, 4, 8, 16, 32, 64}
-	grainSweep = []int{2, 4, 8, 16, 25, 50, 100, 200}
-	widthSweep = []int{2, 3, 4, 6, 8, 12, 16}
+	procsSweep   = []int{1, 2, 4, 8, 16, 32, 64}
+	grainSweep   = []int{2, 4, 8, 16, 25, 50, 100, 200}
+	widthSweep   = []int{2, 3, 4, 6, 8, 12, 16}
+	measureSweep = []int{1, 4, 16, 64}
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		kind   = flag.String("kind", "procs", "series: procs, grain, width, strategy, comm, tile2d, or all")
+		kind   = flag.String("kind", "procs", "series: procs, grain, width, strategy, comm, tile2d, measure, or all")
 		matrix = flag.String("matrix", "LAP30", "test matrix name")
 		procs  = flag.Int("procs", 16, "processors (grain, width and strategy sweeps)")
 		grain  = flag.Int("grain", 25, "grain size (procs, width and strategy sweeps)")
@@ -58,6 +60,7 @@ func main() {
 		trace  = flag.String("trace", "", "write the traced comm-aware dynamic run of the single -strategy at -procs to this path (kinds strategy, comm, tile2d)")
 		tracef = flag.String("traceformat", "chrome", "trace export format: "+strings.Join(repro.TraceFormats(), " or "))
 		ledger = flag.String("ledger", "", "write one BENCH record per sweep row to this path (kinds strategy, comm, tile2d)")
+		reps   = flag.Int("repeats", 3, "repeat-and-min count for the measure sweep's wall-clock timings")
 	)
 	flag.Parse()
 	// !(x >= 0) also rejects NaN, which a plain x < 0 lets through.
@@ -67,10 +70,13 @@ func main() {
 	if !(*beta2 >= 0) || math.IsInf(*beta2, 0) {
 		log.Fatalf("invalid -beta2 %g (must be finite and >= 0)", *beta2)
 	}
-	if *kind == "tile2d" {
+	if *kind == "tile2d" || *kind == "measure" {
 		validateChoice("2D strategy", *strat, tile2dChoices())
 	} else {
 		validateChoice("strategy", *strat, repro.Strategies())
+	}
+	if *kind == "measure" && *reps < 1 {
+		log.Fatalf("invalid -repeats %d (want >= 1)", *reps)
 	}
 	validateChoice("refine objective", *obj, repro.RefineObjectives())
 	cm := repro.CommModel{Alpha: *alpha, Beta: *beta}
@@ -122,7 +128,7 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat, *obj, cm, *beta2, nil); err != nil {
+				if err := writeSeries(f, k, tm.Name, *procs, *grain, *strat, *obj, cm, *beta2, *reps, nil); err != nil {
 					log.Fatal(err)
 				}
 				if err := f.Close(); err != nil {
@@ -133,7 +139,7 @@ func main() {
 		}
 		return
 	}
-	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat, *obj, cm, *beta2, bcap); err != nil {
+	if err := writeSeries(os.Stdout, *kind, *matrix, *procs, *grain, *strat, *obj, cm, *beta2, *reps, bcap); err != nil {
 		log.Fatal(err)
 	}
 	if bcap.ledger != nil {
@@ -212,7 +218,7 @@ func validateChoice(name, value string, choices []string) {
 	log.Fatalf("unknown %s %q (registered: %s)", name, value, strings.Join(choices, ", "))
 }
 
-func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, obj string, cm repro.CommModel, beta2 float64, bcap *capture) error {
+func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, obj string, cm repro.CommModel, beta2 float64, reps int, bcap *capture) error {
 	m, _, err := repro.BuildMatrix(matrix)
 	if err != nil {
 		return err
@@ -391,6 +397,47 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, ob
 					if err := bcap.observe(matrix, "tile2d", choice, p, cm, tr.Total, res, events); err != nil {
 						return err
 					}
+				}
+			}
+		}
+	case "measure":
+		// Real wall-clock runs of the parallel 2D engine (bit-identity
+		// verified on every run) next to the comm-aware static prediction of
+		// the same task graph. CSV only: repeated timings live outside the
+		// deterministic -ledger/-trace machinery.
+		if err := row("strategy", "procs", "serial_ns", "parallel_ns",
+			"speedup", "predicted_speedup", "predicted_makespan", "traffic2d"); err != nil {
+			return err
+		}
+		for _, choice := range tile2dChoices() {
+			if strat != "" && choice != strat {
+				continue
+			}
+			name, opts := choice, repro.StrategyOptions{}
+			if base, ok := strings.CutPrefix(choice, "col2d:"); ok {
+				name, opts.Base = "col2d", base
+			}
+			for _, p := range measureSweep {
+				s2, err := sys.MapStrategy2D(name, p, opts)
+				if err != nil {
+					return err
+				}
+				mes, err := sys.MeasureFactorize2D(s2, repro.MeasureOptions{Repeats: reps})
+				if err != nil {
+					return err
+				}
+				pred := sys.Makespan2DComm(s2, cm)
+				span := pred.Makespan
+				if span < 1 {
+					span = 1
+				}
+				tr := sys.Traffic2D(s2)
+				if err := row(choice, strconv.Itoa(p),
+					fmt.Sprint(mes.SerialNs), fmt.Sprint(mes.ParallelNs),
+					fmt.Sprintf("%.4f", mes.Speedup),
+					fmt.Sprintf("%.4f", float64(sys.TotalWork())/float64(span)),
+					fmt.Sprint(pred.Makespan), fmt.Sprint(tr.Total)); err != nil {
+					return err
 				}
 			}
 		}

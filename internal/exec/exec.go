@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/numeric"
 	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/symbolic"
@@ -208,6 +209,14 @@ func parallelFactorize(m *sparse.Matrix, part *core.Partition, s *sched.Schedule
 	if m.N != f.N {
 		return nil, fmt.Errorf("exec: dimension mismatch")
 	}
+	if err := checkProcCount(s.P); err != nil {
+		return nil, err
+	}
+	for ui, pr := range s.UnitProc {
+		if err := checkProc(pr, s.P); err != nil {
+			return nil, fmt.Errorf("exec: unit %d: %w", ui, err)
+		}
+	}
 	ops := model.NewOps(f)
 	// Execution dependencies: the update-pair preds plus the unit of the
 	// diagonal element of every column a unit touches (for the scale).
@@ -241,27 +250,8 @@ func parallelFactorize(m *sparse.Matrix, part *core.Partition, s *sched.Schedule
 		u := part.ElemUnit[q]
 		unitElems[u] = append(unitElems[u], int32(q))
 	}
-	val := make([]float64, f.NNZ())
-	// A-values scattered into factor positions.
-	for j := 0; j < m.N; j++ {
-		cj := m.Col(j)
-		vj := m.ColVal(j)
-		fc := f.Col(j)
-		base := f.ColPtr[j]
-		t := 0
-		for k, i := range cj {
-			for fc[t] != i {
-				t++
-			}
-			val[base+t] = vj[k]
-		}
-	}
-	colOf := make([]int32, f.NNZ())
-	for j := 0; j < f.N; j++ {
-		for q := f.ColPtr[j]; q < f.ColPtr[j+1]; q++ {
-			colOf[q] = int32(j)
-		}
-	}
+	val := numeric.ScatterA(m, f)
+	colOf := numeric.ColIndex(f)
 	// position lookup: for (r, c) find the value index.
 	posOf := func(r, c int) int {
 		col := f.Col(c)
@@ -309,13 +299,13 @@ func parallelFactorize(m *sparse.Matrix, part *core.Partition, s *sched.Schedule
 			}
 			if i == j {
 				if ldl {
-					if sum == 0 || math.IsNaN(sum) {
-						return fmt.Errorf("exec: zero pivot at column %d", j)
+					if sum == 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+						return fmt.Errorf("exec: unusable pivot %g at column %d (want finite nonzero)", sum, j)
 					}
 					val[q] = sum
 				} else {
-					if sum <= 0 || math.IsNaN(sum) {
-						return fmt.Errorf("exec: nonpositive pivot %g at column %d", sum, j)
+					if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+						return fmt.Errorf("exec: unusable pivot %g at column %d (want finite positive)", sum, j)
 					}
 					val[q] = math.Sqrt(sum)
 				}

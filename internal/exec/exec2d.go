@@ -1,0 +1,273 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/numeric"
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+)
+
+// ParallelFactorize2D executes the numeric Cholesky factorization with one
+// worker goroutine per processor over an arbitrary column-partitioned task
+// graph — in particular the merged tile-segment graph of a 2D tile
+// schedule (part2d.Tasks). Each task owns a set of elements of one target
+// column; its worker waits on the task's predecessors (per-task done
+// channels, closed on completion), applies the column's updates to its
+// elements, and scales them.
+//
+// The result is bit-for-bit equal to numeric.Factorize: updates are
+// applied in the serial left-looking chain order (numeric.Chains) with the
+// identical association, so every element sees exactly the serial sequence
+// of floating-point operations regardless of how the tasks interleave.
+// That makes the run deterministic and the comm-aware makespan simulators
+// falsifiable — the same task graph they predict is what actually runs.
+//
+// tasks must be topologically ordered by ID with processors in [0, p), and
+// elemTask must assign every factor position to a task of its own column;
+// malformed inputs are reported as errors (the validator is shared with
+// ParallelSolve), never as panics or races.
+func ParallelFactorize2D(m *sparse.Matrix, f *symbolic.Factor, p int, tasks []Task, elemTask []int32) (*NumericFactor, error) {
+	nf, _, err := runFactorize2D(m, f, p, tasks, elemTask, false, false)
+	return nf, err
+}
+
+// ParallelFactorize2DLDL is ParallelFactorize2D with the square-root-free
+// LDLᵀ kernel; its result is bit-for-bit equal to numeric.FactorizeLDL.
+func ParallelFactorize2DLDL(m *sparse.Matrix, f *symbolic.Factor, p int, tasks []Task, elemTask []int32) (*NumericFactor, error) {
+	nf, _, err := runFactorize2D(m, f, p, tasks, elemTask, true, false)
+	return nf, err
+}
+
+// engine2D is the shared state of one parallel 2D factorization run.
+type engine2D struct {
+	f         *symbolic.Factor
+	val       []float64
+	colOf     []int32
+	head, pos []int32 // the serial update schedule (numeric.Chains)
+	ldl       bool
+}
+
+// runFactorize2D validates the inputs, builds the run state and executes
+// the task graph. With record set it timestamps every task execution
+// (nanoseconds since the workers started) and returns the events sorted by
+// task ID.
+func runFactorize2D(m *sparse.Matrix, f *symbolic.Factor, p int, tasks []Task, elemTask []int32, ldl, record bool) (*NumericFactor, []TaskEvent, error) {
+	if m.Val == nil {
+		return nil, nil, fmt.Errorf("exec: matrix has no values")
+	}
+	if m.N != f.N {
+		return nil, nil, fmt.Errorf("exec: dimension mismatch %d vs %d", m.N, f.N)
+	}
+	if err := checkProcCount(p); err != nil {
+		return nil, nil, err
+	}
+	if err := checkTasks(tasks, p); err != nil {
+		return nil, nil, err
+	}
+	if len(elemTask) != f.NNZ() {
+		return nil, nil, fmt.Errorf("exec: element-task map covers %d positions, factor has %d", len(elemTask), f.NNZ())
+	}
+	// Group every task's elements (ascending positions) and pin the
+	// one-column-per-task invariant the kernel relies on.
+	taskElems := make([][]int32, len(tasks))
+	taskCol := make([]int32, len(tasks))
+	for i := range taskCol {
+		taskCol[i] = -1
+	}
+	for j := 0; j < f.N; j++ {
+		for q := f.ColPtr[j]; q < f.ColPtr[j+1]; q++ {
+			t := elemTask[q]
+			if t < 0 || int(t) >= len(tasks) {
+				return nil, nil, fmt.Errorf("exec: position %d mapped to out-of-range task %d", q, t)
+			}
+			if taskCol[t] >= 0 && taskCol[t] != int32(j) {
+				return nil, nil, fmt.Errorf("exec: task %d spans columns %d and %d", t, taskCol[t], j)
+			}
+			taskCol[t] = int32(j)
+			taskElems[t] = append(taskElems[t], int32(q))
+		}
+	}
+	head, pos := numeric.Chains(f)
+	e := &engine2D{
+		f:     f,
+		val:   numeric.ScatterA(m, f),
+		colOf: numeric.ColIndex(f),
+		head:  head,
+		pos:   pos,
+		ldl:   ldl,
+	}
+	perProc := make([][]int32, p)
+	for i := range tasks {
+		perProc[tasks[i].Proc] = append(perProc[tasks[i].Proc], int32(i))
+	}
+	done := make([]chan struct{}, len(tasks))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	abort := make(chan struct{})
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			close(abort)
+		})
+	}
+
+	var events [][]TaskEvent
+	var t0 time.Time
+	if record {
+		events = make([][]TaskEvent, p)
+		t0 = time.Now()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			mine := perProc[proc]
+			if len(mine) == 0 {
+				return
+			}
+			// Per-worker scatter of the task's rows; stamp keys validity.
+			tpos := make([]int32, f.N)
+			stamp := make([]int32, f.N)
+			round := int32(0)
+			var prevFinish int64
+			for _, ti := range mine {
+				cause := int32(-1)
+				for _, pr := range tasks[ti].Preds {
+					select {
+					case <-done[pr]:
+					default:
+						// This predecessor actually blocks us: record it
+						// as the stall cause, like the simulators do.
+						select {
+						case <-done[pr]:
+							cause = pr
+						case <-abort:
+							return
+						}
+					}
+				}
+				var start int64
+				if record {
+					start = time.Since(t0).Nanoseconds()
+				}
+				round++
+				if err := e.computeTask(taskElems[ti], tpos, stamp, round); err != nil {
+					fail(err)
+					return
+				}
+				close(done[ti])
+				if record {
+					finish := time.Since(t0).Nanoseconds()
+					events[proc] = append(events[proc], TaskEvent{
+						Task: ti, Proc: int32(proc),
+						Start: start, Finish: finish,
+						Work:  finish - start,
+						Stall: start - prevFinish, Cause: cause,
+					})
+					prevFinish = finish
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	var evs []TaskEvent
+	if record {
+		for _, pe := range events {
+			evs = append(evs, pe...)
+		}
+		sort.Slice(evs, func(a, b int) bool { return evs[a].Task < evs[b].Task })
+	}
+	return &NumericFactor{F: f, Val: e.val}, evs, nil
+}
+
+// computeTask runs one merged tile-segment task: apply the target column's
+// updates to the task's elements in the serial chain order, then scale.
+// elems are ascending positions of a single column; round stamps the
+// worker-local scatter arrays.
+func (e *engine2D) computeTask(elems []int32, tpos, stamp []int32, round int32) error {
+	if len(elems) == 0 {
+		return nil
+	}
+	f := e.f
+	val := e.val
+	j := int(e.colOf[elems[0]])
+	diag := int32(f.ColPtr[j])
+	for _, q := range elems {
+		i := f.RowInd[q]
+		tpos[i] = q
+		stamp[i] = round
+	}
+	for ci := e.head[j]; ci < e.head[j+1]; ci++ {
+		p := e.pos[ci]
+		k := int(e.colOf[p])
+		end := int32(f.ColPtr[k+1])
+		// ljk (and D[k] for LDL) are loaded lazily, on the first row this
+		// task owns: the update (i, j) <- (i, k), (j, k) then guarantees
+		// both source tasks are among this task's predecessors, so the
+		// reads are synchronized. A chain entry touching none of the
+		// task's rows must not read column k at all — its tasks may still
+		// be in flight.
+		loaded := false
+		var ljk, dk float64
+		for q := p; q < end; q++ {
+			i := f.RowInd[q]
+			if stamp[i] != round {
+				continue
+			}
+			if !loaded {
+				ljk = val[p]
+				if e.ldl {
+					dk = val[f.ColPtr[k]]
+				}
+				loaded = true
+			}
+			if e.ldl {
+				val[tpos[i]] -= val[q] * dk * ljk
+			} else {
+				val[tpos[i]] -= val[q] * ljk
+			}
+		}
+	}
+	if elems[0] == diag {
+		// This task owns the diagonal: compute the pivot (identical checks
+		// to the serial kernels, rejecting non-finite pivots) and scale its
+		// own off-diagonal elements.
+		pivot := val[diag]
+		var d float64
+		if e.ldl {
+			if pivot == 0 || math.IsNaN(pivot) || math.IsInf(pivot, 0) {
+				return fmt.Errorf("exec: unusable pivot %g at column %d (want finite nonzero)", pivot, j)
+			}
+			d = pivot
+		} else {
+			if pivot <= 0 || math.IsNaN(pivot) || math.IsInf(pivot, 0) {
+				return fmt.Errorf("exec: unusable pivot %g at column %d (want finite positive)", pivot, j)
+			}
+			d = math.Sqrt(pivot)
+			val[diag] = d
+		}
+		for _, q := range elems[1:] {
+			val[q] /= d
+		}
+	} else {
+		// The diagonal belongs to another task; the scale dependency
+		// (ForEachScale in the task graph) guarantees it is final.
+		d := val[diag]
+		for _, q := range elems {
+			val[q] /= d
+		}
+	}
+	return nil
+}

@@ -59,3 +59,22 @@ func finalize(p int, span, total int64) SimResult {
 	}
 	return res
 }
+
+// Efficiency is the exported form of finalize's efficiency rule: TotalWork
+// / (P * span) with the zero-span case pinned to 1, never NaN. Derived
+// tables (critical-path efficiency bounds in particular) must route
+// through this instead of dividing directly, or a degenerate zero-work run
+// poisons rendered tables and the JSON ledger (encoding/json rejects NaN).
+func Efficiency(p int, span, total int64) float64 {
+	return finalize(p, span, total).Efficiency
+}
+
+// IdlePct is the idle percentage of the run, 100 * Idle / (P * Makespan),
+// with the zero-span case pinned to 0 by the same rule finalize applies
+// (a degenerate run has no idle time, not an undefined one).
+func (r SimResult) IdlePct() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return 100 * float64(r.Idle) / (float64(r.P) * float64(r.Makespan))
+}

@@ -31,11 +31,17 @@ func ParallelSolve(chol *numeric.Cholesky, s *sched.Schedule, b []float64) ([]fl
 	if len(s.ElemProc) != f.NNZ() {
 		return nil, fmt.Errorf("exec: schedule covers a different factor")
 	}
+	if err := checkProcCount(s.P); err != nil {
+		return nil, err
+	}
 	ops := model.NewOps(f)
 	colProc := make([]int32, n)
 	perProc := make([][]int, s.P)
 	for j := 0; j < n; j++ {
 		p := s.ElemProc[f.ColPtr[j]]
+		if err := checkProc(p, s.P); err != nil {
+			return nil, fmt.Errorf("exec: column %d: %w", j, err)
+		}
 		colProc[j] = p
 		perProc[p] = append(perProc[p], j)
 	}

@@ -1,0 +1,222 @@
+package exec
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/numeric"
+	"repro/internal/sched"
+)
+
+// Regression: ParallelSolve used to index its per-processor buckets with
+// schedule-supplied owner ids without validating them, so a schedule with
+// P = 0 or an out-of-range owner panicked instead of returning an error.
+func TestParallelSolveRejectsZeroProcs(t *testing.T) {
+	p := buildPipe(gen.Grid5(4, 4), 4, 4)
+	chol, err := numeric.Factorize(p.m, p.f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.BlockMap(p.part, 2)
+	bad := &sched.Schedule{P: 0, ElemProc: s.ElemProc}
+	if _, err := ParallelSolve(chol, bad, make([]float64, p.m.N)); err == nil {
+		t.Fatal("expected error for P=0 schedule")
+	} else if !strings.Contains(err.Error(), "processor count") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestParallelSolveRejectsOutOfRangeOwner(t *testing.T) {
+	p := buildPipe(gen.Grid5(4, 4), 4, 4)
+	chol, err := numeric.Factorize(p.m, p.f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, owner := range []int32{-1, 2, 99} {
+		s := sched.BlockMap(p.part, 2)
+		ep := make([]int32, len(s.ElemProc))
+		copy(ep, s.ElemProc)
+		ep[p.f.ColPtr[0]] = owner // corrupt column 0's diagonal owner
+		bad := &sched.Schedule{P: 2, ElemProc: ep}
+		if _, err := ParallelSolve(chol, bad, make([]float64, p.m.N)); err == nil {
+			t.Fatalf("expected error for owner %d on P=2", owner)
+		} else if !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("owner %d: unexpected error: %v", owner, err)
+		}
+	}
+}
+
+// The 1D block engine shares the validator: corrupt unit owners error out
+// instead of racing or panicking.
+func TestParallelFactorizeRejectsBadOwners(t *testing.T) {
+	p := buildPipe(gen.Grid5(4, 4), 4, 4)
+	s := sched.BlockMap(p.part, 2)
+	s.UnitProc[0] = 7
+	if _, err := ParallelFactorize(p.m, p.part, s); err == nil {
+		t.Fatal("expected error for out-of-range unit owner")
+	}
+	s.P = 0
+	if _, err := ParallelFactorize(p.m, p.part, s); err == nil {
+		t.Fatal("expected error for P=0 schedule")
+	}
+}
+
+// serialColumnTasks builds the trivially valid task graph for the 2D
+// engine: one task per column on one processor, ID order = column order.
+func serialColumnTasks(p *pipe) ([]Task, []int32) {
+	tasks := make([]Task, p.f.N)
+	elemTask := make([]int32, p.f.NNZ())
+	for j := 0; j < p.f.N; j++ {
+		tasks[j] = Task{ID: j, Proc: 0, Work: 1}
+		if j > 0 {
+			tasks[j].Preds = []int32{int32(j - 1)}
+		}
+		for q := p.f.ColPtr[j]; q < p.f.ColPtr[j+1]; q++ {
+			elemTask[q] = int32(j)
+		}
+	}
+	return tasks, elemTask
+}
+
+func TestParallelFactorize2DSerialGraph(t *testing.T) {
+	p := buildPipe(gen.Lap30(), 4, 4)
+	tasks, elemTask := serialColumnTasks(p)
+	want, err := numeric.Factorize(p.m, p.f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParallelFactorize2D(p.m, p.f, 1, tasks, elemTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range want.Val {
+		if math.Float64bits(got.Val[q]) != math.Float64bits(want.Val[q]) {
+			t.Fatalf("position %d: %g vs %g", q, got.Val[q], want.Val[q])
+		}
+	}
+}
+
+func TestParallelFactorize2DRejectsMalformed(t *testing.T) {
+	p := buildPipe(gen.Grid5(4, 4), 4, 4)
+	tasks, elemTask := serialColumnTasks(p)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"zero procs", func() error {
+			_, err := ParallelFactorize2D(p.m, p.f, 0, tasks, elemTask)
+			return err
+		}},
+		{"no values", func() error {
+			pat := *p.m
+			pat.Val = nil
+			_, err := ParallelFactorize2D(&pat, p.f, 1, tasks, elemTask)
+			return err
+		}},
+		{"short elemTask", func() error {
+			_, err := ParallelFactorize2D(p.m, p.f, 1, tasks, elemTask[:3])
+			return err
+		}},
+		{"task out of range", func() error {
+			bad := make([]int32, len(elemTask))
+			copy(bad, elemTask)
+			bad[0] = int32(len(tasks))
+			_, err := ParallelFactorize2D(p.m, p.f, 1, tasks, bad)
+			return err
+		}},
+		{"task spans columns", func() error {
+			bad := make([]int32, len(elemTask))
+			copy(bad, elemTask)
+			bad[p.f.ColPtr[1]] = 0 // column 1's diagonal into column 0's task
+			_, err := ParallelFactorize2D(p.m, p.f, 1, tasks, bad)
+			return err
+		}},
+		{"proc out of range", func() error {
+			bad := make([]Task, len(tasks))
+			copy(bad, tasks)
+			bad[0].Proc = 5
+			_, err := ParallelFactorize2D(p.m, p.f, 1, bad, elemTask)
+			return err
+		}},
+		{"forward pred", func() error {
+			bad := make([]Task, len(tasks))
+			copy(bad, tasks)
+			bad[0].Preds = []int32{1}
+			_, err := ParallelFactorize2D(p.m, p.f, 1, bad, elemTask)
+			return err
+		}},
+		{"task ID out of order", func() error {
+			bad := make([]Task, len(tasks))
+			copy(bad, tasks)
+			bad[0].ID = 3
+			_, err := ParallelFactorize2D(p.m, p.f, 1, bad, elemTask)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// The 2D kernel applies the same pivot rules as the serial kernels: a
+// non-finite or nonpositive pivot is an error, not a silent NaN factor.
+func TestParallelFactorize2DRejectsBadPivot(t *testing.T) {
+	p := buildPipe(gen.Grid5(3, 3), 4, 4)
+	tasks, elemTask := serialColumnTasks(p)
+	m := *p.m
+	m.Val = make([]float64, len(p.m.Val))
+	copy(m.Val, p.m.Val)
+	m.Val[m.ColPtr[0]] = math.Inf(1)
+	if _, err := ParallelFactorize2D(&m, p.f, 1, tasks, elemTask); err == nil {
+		t.Fatal("Cholesky: expected pivot error for +Inf diagonal")
+	}
+	if _, err := ParallelFactorize2DLDL(&m, p.f, 1, tasks, elemTask); err == nil {
+		t.Fatal("LDL: expected pivot error for +Inf diagonal")
+	}
+}
+
+// Zero-span runs must report Efficiency 1 / Idle 0 — never NaN, which
+// encoding/json refuses and which used to leak out of the derived tables.
+func TestZeroSpanEfficiencyPinned(t *testing.T) {
+	if e := Efficiency(4, 0, 0); e != 1 {
+		t.Fatalf("Efficiency(4, 0, 0) = %g, want 1", e)
+	}
+	r := SimResult{P: 4}
+	if pct := r.IdlePct(); pct != 0 {
+		t.Fatalf("zero-span IdlePct = %g, want 0", pct)
+	}
+	if _, err := json.Marshal(struct {
+		Eff  float64
+		Idle float64
+	}{Efficiency(4, 0, 0), r.IdlePct()}); err != nil {
+		t.Fatalf("zero-span summary is not JSON-encodable: %v", err)
+	}
+}
+
+func TestMeasureFactorizeSmoke(t *testing.T) {
+	p := buildPipe(gen.Grid5(6, 6), 4, 4)
+	tasks, elemTask := serialColumnTasks(p)
+	mes, err := MeasureFactorize(p.m, p.f, 1, tasks, elemTask, MeasureOptions{Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mes.SerialNs < 1 || mes.ParallelNs < 1 || !(mes.Speedup > 0) {
+		t.Fatalf("degenerate measurement: %+v", mes)
+	}
+	if mes.Repeats != 2 || mes.P != 1 {
+		t.Fatalf("measurement metadata: %+v", mes)
+	}
+	if len(mes.Events) != len(tasks) {
+		t.Fatalf("events %d, want one per task (%d)", len(mes.Events), len(tasks))
+	}
+	for i, ev := range mes.Events {
+		if int(ev.Task) != i || ev.Finish < ev.Start || ev.Work != ev.Finish-ev.Start {
+			t.Fatalf("event %d malformed: %+v", i, ev)
+		}
+	}
+}

@@ -73,9 +73,12 @@ func FactorizeLDL(m *sparse.Matrix, f *symbolic.Factor) (*LDL, error) {
 			}
 			k = nk
 		}
+		// The pivot must be finite and nonzero: ±Inf (overflow in the
+		// update sums) would otherwise divide the off-diagonals into
+		// zeros/NaNs and silently pollute Val.
 		pivot := w[j]
-		if pivot == 0 || math.IsNaN(pivot) {
-			return nil, fmt.Errorf("numeric: zero pivot at column %d", j)
+		if pivot == 0 || math.IsNaN(pivot) || math.IsInf(pivot, 0) {
+			return nil, fmt.Errorf("numeric: unusable pivot %g at column %d (want finite nonzero)", pivot, j)
 		}
 		base := f.ColPtr[j]
 		val[base] = pivot

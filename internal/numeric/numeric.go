@@ -88,9 +88,12 @@ func Factorize(m *sparse.Matrix, f *symbolic.Factor) (*Cholesky, error) {
 			}
 			k = nk
 		}
-		// Scale.
+		// Scale. The pivot must be finite and positive: besides the
+		// nonpositive/NaN cases, +Inf (an overflowed or Inf-contaminated
+		// diagonal) would silently survive the square root and poison the
+		// factor.
 		pivot := w[j]
-		if pivot <= 0 || math.IsNaN(pivot) {
+		if pivot <= 0 || math.IsNaN(pivot) || math.IsInf(pivot, 0) {
 			return nil, &NotPositiveDefiniteError{Column: j, Pivot: pivot}
 		}
 		d := math.Sqrt(pivot)

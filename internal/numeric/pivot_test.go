@@ -1,0 +1,51 @@
+package numeric
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/symbolic"
+)
+
+// Regression: FactorizeLDL rejected zero and NaN pivots but let ±Inf
+// through, silently producing an Inf/NaN factor. A = [1e-308 1e8; 1e8 1]
+// overflows: L10 = 1e8/1e-308 = +Inf, then D1 = 1 - Inf·1e-308·Inf = -Inf.
+func TestLDLRejectsOverflowPivot(t *testing.T) {
+	m, err := sparse.FromTriplets(2, []int{0, 1, 1}, []int{0, 0, 1}, []float64{1e-308, 1e8, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := symbolic.Analyze(m)
+	if _, err := FactorizeLDL(m, f); err == nil {
+		t.Fatal("expected error for overflowing pivot, got a silent Inf factor")
+	} else if !strings.Contains(err.Error(), "pivot") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// The same audit for Cholesky: diagonal updates only subtract squares, so
+// a +Inf pivot is reachable only through an Inf input — which sqrt
+// silently accepted before the finiteness check.
+func TestCholeskyRejectsInfPivot(t *testing.T) {
+	m, err := sparse.FromTriplets(1, []int{0}, []int{0}, []float64{math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := symbolic.Analyze(m)
+	if _, err := Factorize(m, f); err == nil {
+		t.Fatal("expected error for +Inf pivot, got a silent Inf factor")
+	}
+}
+
+func TestLDLRejectsNaNPivot(t *testing.T) {
+	m, err := sparse.FromTriplets(1, []int{0}, []int{0}, []float64{math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := symbolic.Analyze(m)
+	if _, err := FactorizeLDL(m, f); err == nil {
+		t.Fatal("expected error for NaN pivot")
+	}
+}

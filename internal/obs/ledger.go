@@ -40,7 +40,11 @@ func (p *Profile) Summary() ProfileSummary {
 // BenchRecord is one benchmarked run in the ledger: a (matrix, strategy,
 // P, comm model) point with its makespan, traffic, efficiency and profile
 // summary. Kind distinguishes the mapping family ("strategy" for the 1D
-// column mappers, "tile2d" for the native 2D mappers).
+// column mappers, "tile2d" for the native 2D mappers) — or "measure" for a
+// real wall-clock execution, whose rows additionally carry the measured
+// times and the measured-vs-predicted speedups (and whose Makespan is the
+// simulator's prediction, Efficiency the measured speedup over P, Profile
+// the real-run breakdown).
 type BenchRecord struct {
 	Matrix     string          `json:"matrix"`
 	Strategy   string          `json:"strategy"`
@@ -52,6 +56,11 @@ type BenchRecord struct {
 	Traffic    int64           `json:"traffic"`
 	Efficiency float64         `json:"efficiency"`
 	Profile    *ProfileSummary `json:"profile,omitempty"`
+	// Real-execution fields, set only on Kind "measure" records.
+	SerialNs        int64   `json:"serial_ns,omitempty"`
+	MeasuredNs      int64   `json:"measured_ns,omitempty"`
+	MeasuredSpeedup float64 `json:"measured_speedup,omitempty"`
+	PredSpeedup     float64 `json:"predicted_speedup,omitempty"`
 }
 
 // Ledger is the machine-readable bench output, written as BENCH_*.json:
@@ -79,6 +88,13 @@ func (l *Ledger) Write(w io.Writer) error {
 var ledgerRequiredKeys = []string{
 	"matrix", "strategy", "kind", "p", "alpha", "beta",
 	"makespan", "traffic", "efficiency",
+}
+
+// measureRequiredKeys are additionally required on kind "measure" records:
+// a real-execution row without its measured times is useless to the
+// measured-vs-predicted trend check.
+var measureRequiredKeys = []string{
+	"serial_ns", "measured_ns", "measured_speedup", "predicted_speedup",
 }
 
 // ValidateLedger checks that data is a parseable ledger with the current
@@ -110,6 +126,13 @@ func ValidateLedger(data []byte) error {
 		for _, k := range ledgerRequiredKeys {
 			if _, ok := rec[k]; !ok {
 				missing = append(missing, k)
+			}
+		}
+		if kind, _ := rec["kind"].(string); kind == "measure" {
+			for _, k := range measureRequiredKeys {
+				if _, ok := rec[k]; !ok {
+					missing = append(missing, k)
+				}
 			}
 		}
 		if len(missing) > 0 {

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exec"
+)
+
+// RealProfile aggregates the events of one real (wall-clock) execution —
+// exec.MeasureFactorize's per-task timings — into a Profile. It is the
+// tolerant sibling of BuildProfile: real events live on a nanosecond
+// timeline where a worker's first task can start after t = 0 with no
+// causing predecessor (goroutine startup, OS scheduling), so the
+// time-contiguity invariants BuildProfile enforces do not hold and no
+// critical path is extracted (Critical stays nil). Everything else — the
+// per-processor busy/comm/stall/idle breakdown and the idle-gap histogram
+// — carries over, with the makespan taken as the latest finish.
+func RealProfile(events []exec.TaskEvent, p int) (*Profile, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("obs: invalid processor count %d", p)
+	}
+	prof := &Profile{P: p, Procs: make([]ProcProfile, p)}
+	for i := range prof.Procs {
+		prof.Procs[i].Proc = i
+	}
+	perProc := make([][]exec.TaskEvent, p)
+	for _, ev := range events {
+		if ev.Proc < 0 || int(ev.Proc) >= p {
+			return nil, fmt.Errorf("obs: event for task %d on processor %d, run had %d", ev.Task, ev.Proc, p)
+		}
+		if ev.Finish < ev.Start {
+			return nil, fmt.Errorf("obs: task %d finishes at %d before its start %d", ev.Task, ev.Finish, ev.Start)
+		}
+		if ev.Finish > prof.Makespan {
+			prof.Makespan = ev.Finish
+		}
+		perProc[ev.Proc] = append(perProc[ev.Proc], ev)
+	}
+	for proc := range perProc {
+		evs := perProc[proc]
+		sort.Slice(evs, func(a, b int) bool {
+			if evs[a].Start != evs[b].Start {
+				return evs[a].Start < evs[b].Start
+			}
+			return evs[a].Task < evs[b].Task
+		})
+		pp := &prof.Procs[proc]
+		pp.Tasks = len(evs)
+		var last int64
+		for _, ev := range evs {
+			pp.Busy += ev.Work
+			pp.Comm += ev.Comm
+			if ev.Cause >= 0 {
+				pp.Stall += ev.Stall
+			}
+			if gap := ev.Start - last; gap > 0 {
+				prof.IdleGaps.Add(gap)
+			}
+			last = ev.Finish
+		}
+		if gap := prof.Makespan - last; gap > 0 {
+			prof.IdleGaps.Add(gap)
+		}
+		pp.Idle = prof.Makespan - pp.Busy - pp.Comm
+	}
+	return prof, nil
+}

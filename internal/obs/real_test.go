@@ -1,0 +1,102 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+)
+
+func TestRealProfileAggregates(t *testing.T) {
+	// Two processors; proc 0 starts late (uncaused startup gap), proc 1
+	// has a caused stall between its tasks.
+	events := []exec.TaskEvent{
+		{Task: 0, Proc: 0, Start: 5, Finish: 15, Work: 10, Stall: 5, Cause: -1},
+		{Task: 1, Proc: 1, Start: 0, Finish: 8, Work: 8, Stall: 0, Cause: -1},
+		{Task: 2, Proc: 1, Start: 16, Finish: 20, Work: 4, Stall: 8, Cause: 0},
+	}
+	prof, err := obs.RealProfile(events, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Makespan != 20 {
+		t.Fatalf("makespan %d, want 20", prof.Makespan)
+	}
+	if prof.Busy() != 22 {
+		t.Fatalf("busy %d, want 22", prof.Busy())
+	}
+	// Only the caused stall counts; proc 0's startup gap is idle, not stall.
+	if prof.Stall() != 8 {
+		t.Fatalf("stall %d, want 8", prof.Stall())
+	}
+	if prof.Procs[0].Idle != 10 || prof.Procs[1].Idle != 8 {
+		t.Fatalf("idle split %d/%d, want 10/8", prof.Procs[0].Idle, prof.Procs[1].Idle)
+	}
+	if prof.Critical != nil {
+		t.Fatal("real profile must not extract a critical path")
+	}
+}
+
+func TestRealProfileRejects(t *testing.T) {
+	if _, err := obs.RealProfile(nil, 0); err == nil {
+		t.Error("expected error for p = 0")
+	}
+	bad := []exec.TaskEvent{{Task: 0, Proc: 3, Start: 0, Finish: 1}}
+	if _, err := obs.RealProfile(bad, 2); err == nil {
+		t.Error("expected error for out-of-range processor")
+	}
+	rev := []exec.TaskEvent{{Task: 0, Proc: 0, Start: 5, Finish: 2}}
+	if _, err := obs.RealProfile(rev, 1); err == nil {
+		t.Error("expected error for finish before start")
+	}
+}
+
+// Measure-kind records demand the measured fields: a ledger that labels a
+// row "measure" without its wall-clock numbers fails the CI gate.
+func TestValidateLedgerMeasureKind(t *testing.T) {
+	l := obs.NewLedger()
+	l.Add(obs.BenchRecord{
+		Matrix: "LAP30", Strategy: "rect2dcyclic", Kind: "measure", P: 4,
+		Alpha: 2, Beta: 10, Makespan: 30, Traffic: 50, Efficiency: 0.2,
+		SerialNs: 1000, MeasuredNs: 1200, MeasuredSpeedup: 0.83, PredSpeedup: 3.1,
+	})
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateLedger(buf.Bytes()); err != nil {
+		t.Errorf("complete measure record rejected: %v", err)
+	}
+
+	// The same record without measured fields: omitempty drops them from
+	// the JSON, and the validator must notice.
+	l2 := obs.NewLedger()
+	l2.Add(obs.BenchRecord{
+		Matrix: "LAP30", Strategy: "rect2dcyclic", Kind: "measure", P: 4,
+		Alpha: 2, Beta: 10, Makespan: 30, Traffic: 50, Efficiency: 0.2,
+	})
+	buf.Reset()
+	if err := l2.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	err := obs.ValidateLedger(buf.Bytes())
+	if err == nil || !strings.Contains(err.Error(), "measured_ns") {
+		t.Errorf("incomplete measure record: error = %v, want missing measured_ns", err)
+	}
+
+	// Non-measure kinds stay valid without the measured fields.
+	l3 := obs.NewLedger()
+	l3.Add(obs.BenchRecord{
+		Matrix: "LAP30", Strategy: "wrap", Kind: "strategy", P: 4,
+		Alpha: 2, Beta: 10, Makespan: 30, Traffic: 50, Efficiency: 0.8,
+	})
+	buf.Reset()
+	if err := l3.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateLedger(buf.Bytes()); err != nil {
+		t.Errorf("strategy record rejected: %v", err)
+	}
+}

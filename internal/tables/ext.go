@@ -259,7 +259,7 @@ func DynamicCompare(problems []*Problem) []DynamicRow {
 			rows = append(rows, DynamicRow{
 				Name: p.Meta.Name, P: np, Scheme: "block g=25",
 				StaticEff: st.Efficiency, DynamicEff: dy.Efficiency,
-				CritPathEff: float64(st.TotalWork) / (float64(np) * float64(cp)),
+				CritPathEff: exec.Efficiency(np, cp, st.TotalWork),
 			})
 			wtasks := exec.ColumnTasks(p.F, p.Ops, p.ElemWork, np)
 			wst := exec.SimulateMakespan(wtasks, np)
@@ -268,7 +268,7 @@ func DynamicCompare(problems []*Problem) []DynamicRow {
 			rows = append(rows, DynamicRow{
 				Name: p.Meta.Name, P: np, Scheme: "wrap",
 				StaticEff: wst.Efficiency, DynamicEff: wdy.Efficiency,
-				CritPathEff: float64(wst.TotalWork) / (float64(np) * float64(wcp)),
+				CritPathEff: exec.Efficiency(np, wcp, wst.TotalWork),
 			})
 		}
 	}

@@ -347,7 +347,7 @@ func Makespan(problems []*Problem) []MakespanRow {
 					Name: p.Meta.Name, P: np, Scheme: fmt.Sprintf("block g=%d", g),
 					Makespan: r.Makespan, CritPath: exec.CriticalPath(tasks),
 					Efficiency: r.Efficiency, BoundEff: s.Efficiency(),
-					IdlePct: 100 * float64(r.Idle) / float64(int64(np)*r.Makespan),
+					IdlePct: r.IdlePct(),
 				})
 			}
 			ws, _ := p.Wrap(np)
@@ -357,7 +357,7 @@ func Makespan(problems []*Problem) []MakespanRow {
 				Name: p.Meta.Name, P: np, Scheme: "wrap",
 				Makespan: r.Makespan, CritPath: exec.CriticalPath(tasks),
 				Efficiency: r.Efficiency, BoundEff: ws.Efficiency(),
-				IdlePct: 100 * float64(r.Idle) / float64(int64(np)*r.Makespan),
+				IdlePct: r.IdlePct(),
 			})
 		}
 	}

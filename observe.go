@@ -69,6 +69,16 @@ func BuildProfile(events []TraceEvent, res MakespanResult) (*Profile, error) {
 	return obs.BuildProfile(events, res)
 }
 
+// BuildRealProfile aggregates the per-task events of one real (wall-clock)
+// execution — MeasureFactorize2D's Events — into a Profile. Real events
+// need not be time-contiguous (goroutine startup and OS scheduling leave
+// uncaused gaps), so this is the tolerant builder: no critical path is
+// extracted and stalls are counted only when a blocking predecessor was
+// observed.
+func BuildRealProfile(events []TraceEvent, p int) (*Profile, error) {
+	return obs.RealProfile(events, p)
+}
+
 // FormatProfile renders a Profile as a terminal report.
 func FormatProfile(p *Profile) string { return obs.FormatProfile(p) }
 

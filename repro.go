@@ -392,6 +392,49 @@ func (s *System) Makespan2DCommDynamic(sc *Schedule2D, cm CommModel) MakespanRes
 	return part2d.MakespanCommDynamic(s.ops, s.elemWork, sc, cm)
 }
 
+// MeasureOptions configures MeasureFactorize2D (kernel choice and the
+// repeat-and-min count).
+type MeasureOptions = exec.MeasureOptions
+
+// Measurement is one wall-clock comparison between the serial
+// factorization and the parallel 2D engine: fastest serial and parallel
+// times, the measured speedup, the per-task real TaskEvents of the fastest
+// run, and the (bit-identical) parallel factor.
+type Measurement = exec.Measurement
+
+// ParallelFactorize2D executes the numeric Cholesky factorization with one
+// worker goroutine per processor over the merged tile-segment task graph of
+// a 2D schedule — the same graph the Makespan2D* simulators predict. The
+// returned values are bit-for-bit equal to Factorize (updates run in the
+// serial chain order with identical association, so the result does not
+// depend on how the workers interleave).
+func (s *System) ParallelFactorize2D(sc *Schedule2D) ([]float64, error) {
+	nf, err := part2d.ParallelFactorize(s.Permuted, s.ops, s.elemWork, sc)
+	if err != nil {
+		return nil, err
+	}
+	return nf.Val, nil
+}
+
+// ParallelFactorize2DLDL is ParallelFactorize2D with the square-root-free
+// LDLᵀ kernel, bit-for-bit equal to FactorizeLDL.
+func (s *System) ParallelFactorize2DLDL(sc *Schedule2D) ([]float64, error) {
+	nf, err := part2d.ParallelFactorizeLDL(s.Permuted, s.ops, s.elemWork, sc)
+	if err != nil {
+		return nil, err
+	}
+	return nf.Val, nil
+}
+
+// MeasureFactorize2D times the serial factorization against the parallel
+// 2D engine on sc's task graph (repeat-and-min on both sides, bit-identity
+// verified on every parallel run) and returns the wall-clock Measurement.
+// Its Events aggregate through BuildRealProfile and feed the Chrome-trace
+// and Gantt exporters directly.
+func (s *System) MeasureFactorize2D(sc *Schedule2D, opts MeasureOptions) (*Measurement, error) {
+	return part2d.Measure(s.Permuted, s.ops, s.elemWork, sc, opts)
+}
+
 // Traffic simulates the data traffic of a schedule under the paper's
 // model: one unit per distinct non-local element fetched per processor.
 // For block schedules over a relaxed partition use TrafficPart.
