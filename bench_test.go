@@ -260,6 +260,43 @@ func BenchmarkMap2D(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveCached contrasts the staged pipeline's cold and warm
+// paths on LAP30: "cold" pays analysis + mapping + factorization on an
+// empty artifact store each iteration; "warm" issues the identical
+// request against a shared pre-warmed cache, so every stage hits and
+// only the triangular sweeps run. The cold/warm gap is the
+// factor-many/solve-many payoff; the hit counter is reported so the
+// bench-smoke run shows the cache actually served the warm path.
+func BenchmarkSolveCached(b *testing.B) {
+	a := repro.LAP30()
+	rhs := make([]float64, a.N)
+	for i := range rhs {
+		rhs[i] = 1 + float64(i%7)
+	}
+	opts := repro.StrategyOptions{}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache := repro.NewCache(0)
+			if _, err := cache.Solve(a, "wrap", 16, opts, repro.KernelCholesky, rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := repro.NewCache(0)
+		if _, err := cache.Solve(a, "wrap", 16, opts, repro.KernelCholesky, rhs); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Solve(a, "wrap", 16, opts, repro.KernelCholesky, rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(cache.Stats().Hits), "cache-hits")
+	})
+}
+
 // BenchmarkFullPipeline times the whole paper pipeline on LAP30:
 // generate, order, analyze, partition, schedule, simulate.
 func BenchmarkFullPipeline(b *testing.B) {

@@ -263,6 +263,16 @@ func main() {
 		for _, rec := range tables.MeasureRecords(measured, cm) {
 			ledger.Add(rec)
 		}
+		// One staged-pipeline row per benched matrix: a cold request
+		// against an empty artifact store vs repeated warm requests, with
+		// the cache hit/miss counters (gated by -checkledger).
+		for _, p := range bench {
+			rec, err := tables.PipelineRecord(p, "wrap", 4, 5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ledger.Add(rec)
+		}
 		if err := ledger.Write(ledgerFile); err != nil {
 			log.Fatal(err)
 		}

@@ -40,4 +40,21 @@ func main() {
 	fmt.Printf("\nblock saves %.0f%% of the communication; wrap balances %.1fx better.\n",
 		100*(1-float64(bt.Total)/float64(wt.Total)),
 		block.Imbalance()/wrap.Imbalance())
+
+	// The staged pipeline in one call: the cache content-addresses
+	// analysis, plan and factor, so the second solve against the same
+	// pattern and values hits every stage and only runs the sweeps.
+	cache := repro.NewCache(0)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := cache.Solve(a, "wrap", procs, repro.StrategyOptions{}, repro.KernelCholesky, b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	fmt.Printf("staged solve x2 through the artifact cache: hits=%d misses=%d\n",
+		st.Hits, st.Misses)
 }

@@ -1,0 +1,182 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/order"
+)
+
+// TestPatternSumDeterministic pins the content addressing: rebuilding the
+// same matrix yields the same digest, a permuted matrix or a different
+// pattern yields a different one, and values never influence PatternSum.
+func TestPatternSumDeterministic(t *testing.T) {
+	a := gen.Grid9(8, 8)
+	b := gen.Grid9(8, 8)
+	if PatternSum(a) != PatternSum(b) {
+		t.Fatal("identical patterns produced different digests")
+	}
+	patternOnly := *a
+	patternOnly.Val = nil
+	if PatternSum(a) != PatternSum(&patternOnly) {
+		t.Fatal("values leaked into the pattern digest")
+	}
+	perm := order.MMD(a)
+	pm, err := a.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PatternSum(a) == PatternSum(pm) {
+		t.Fatal("MMD-permuted pattern collided with the original")
+	}
+	if PatternSum(a) == PatternSum(gen.Grid9(8, 9)) {
+		t.Fatal("different patterns collided")
+	}
+	if PatternSum(a) == PatternSum(gen.Grid5(8, 8)) {
+		t.Fatal("5-point and 9-point patterns collided")
+	}
+}
+
+// TestValuesSum pins that the values digest distinguishes numerically
+// different matrices over one shared pattern.
+func TestValuesSum(t *testing.T) {
+	a := gen.Grid9(6, 6)
+	b := gen.Grid9(6, 6)
+	if ValuesSum(a) != ValuesSum(b) {
+		t.Fatal("identical values produced different digests")
+	}
+	b.Val[len(b.Val)/2] += 1e-12
+	if ValuesSum(a) == ValuesSum(b) {
+		t.Fatal("perturbed values collided")
+	}
+}
+
+// TestHasherPrefixSafety pins the anti-ambiguity framing: field sequences
+// that concatenate to the same bytes must not collide.
+func TestHasherPrefixSafety(t *testing.T) {
+	h1 := NewHasher("x")
+	h1.Str("ab")
+	h1.Str("c")
+	h2 := NewHasher("x")
+	h2.Str("a")
+	h2.Str("bc")
+	if h1.Sum() == h2.Sum() {
+		t.Fatal("length prefixing failed: [ab,c] == [a,bc]")
+	}
+	if NewHasher("a").Sum() == NewHasher("b").Sum() {
+		t.Fatal("kind not mixed into digest")
+	}
+}
+
+func key(kind string, i int) Key {
+	h := NewHasher(kind)
+	h.I64(int64(i))
+	return h.Sum()
+}
+
+func TestStoreHitMissEvict(t *testing.T) {
+	s := NewStore(2)
+	builds := 0
+	get := func(i int) any {
+		v, _, err := s.GetOrBuild(key("k", i), func() (any, error) {
+			builds++
+			return i * 10, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := get(1); got != 10 {
+		t.Fatalf("built %v, want 10", got)
+	}
+	if got := get(1); got != 10 {
+		t.Fatalf("cached %v, want 10", got)
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1", builds)
+	}
+	get(2)
+	get(3) // evicts key 1 (LRU)
+	if got := s.Stats(); got.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", got.Evictions)
+	}
+	get(1) // rebuilt
+	if builds != 4 {
+		t.Fatalf("builds = %d, want 4 (1,2,3,1-again)", builds)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 4 {
+		t.Fatalf("stats = %+v, want 1 hit / 4 misses", st)
+	}
+	byKind := s.StatsByKind()
+	if byKind["k"] != st {
+		t.Fatalf("per-kind stats %+v != totals %+v", byKind["k"], st)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+}
+
+func TestStoreBuildErrorNotCached(t *testing.T) {
+	s := NewStore(0)
+	wantErr := errors.New("boom")
+	k := key("k", 7)
+	_, _, err := s.GetOrBuild(k, func() (any, error) { return nil, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	v, cached, err := s.GetOrBuild(k, func() (any, error) { return 42, nil })
+	if err != nil || cached || v != 42 {
+		t.Fatalf("retry after failed build: v=%v cached=%v err=%v", v, cached, err)
+	}
+	if got := s.Stats().Evictions; got != 0 {
+		t.Fatalf("failed build counted as eviction: %d", got)
+	}
+}
+
+// TestStoreConcurrentDedup hammers one key from many goroutines: exactly
+// one build may run, everyone shares its result. Run under -race this is
+// also the store's data-race test.
+func TestStoreConcurrentDedup(t *testing.T) {
+	s := NewStore(8)
+	var mu sync.Mutex
+	builds := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := key("k", i%4)
+				v, _, err := s.GetOrBuild(k, func() (any, error) {
+					mu.Lock()
+					builds++
+					mu.Unlock()
+					return fmt.Sprintf("v%d", i%4), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v != fmt.Sprintf("v%d", i%4) {
+					t.Errorf("got %v for key %d", v, i%4)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if builds > 4 {
+		// Dedup is best-effort only across a drop/rebuild boundary, but
+		// with no errors and capacity 8 > 4 keys nothing is ever dropped.
+		t.Fatalf("builds = %d, want <= 4", builds)
+	}
+	st := s.Stats()
+	if st.Hits+st.Misses != 32*20 {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, 32*20)
+	}
+}

@@ -7,7 +7,60 @@ import (
 	"repro/internal/model"
 	"repro/internal/numeric"
 	"repro/internal/sched"
+	"repro/internal/symbolic"
 )
+
+// solveSetup validates the rhs and schedule against the factor structure
+// and derives what both parallel triangular solvers share: the
+// per-processor column lists (a column belongs to the owner of its
+// diagonal element), the row-structure ops, the backward-sweep dependency
+// lists, and a positional lookup for L[i][j].
+func solveSetup(f *symbolic.Factor, s *sched.Schedule, b []float64) (ops *model.Ops, perProc [][]int, backDeps [][]int32, posOf func(i, j int) int, err error) {
+	n := f.N
+	if len(b) != n {
+		return nil, nil, nil, nil, fmt.Errorf("exec: rhs length %d, want %d", len(b), n)
+	}
+	if len(s.ElemProc) != f.NNZ() {
+		return nil, nil, nil, nil, fmt.Errorf("exec: schedule covers a different factor")
+	}
+	if err := checkProcCount(s.P); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	ops = model.NewOps(f)
+	perProc = make([][]int, s.P)
+	for j := 0; j < n; j++ {
+		p := s.ElemProc[f.ColPtr[j]]
+		if err := checkProc(p, s.P); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("exec: column %d: %w", j, err)
+		}
+		perProc[p] = append(perProc[p], j)
+	}
+	// Backward-sweep dependencies: struct(j) below the diagonal.
+	backDeps = make([][]int32, n)
+	for j := 0; j < n; j++ {
+		col := f.Col(j)[1:]
+		deps := make([]int32, len(col))
+		for t, i := range col {
+			deps[t] = int32(i)
+		}
+		backDeps[j] = deps
+	}
+	// posOf(i, j): value index of L[i][j].
+	posOf = func(i, j int) int {
+		col := f.Col(j)
+		lo, hi := 0, len(col)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if col[mid] < i {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return f.ColPtr[j] + lo
+	}
+	return ops, perProc, backDeps, posOf, nil
+}
 
 // ParallelSolve runs the two triangular solves of the paper's step 4
 // (L·y = b, then Lᵀ·x = y) with one worker goroutine per simulated
@@ -25,39 +78,9 @@ import (
 func ParallelSolve(chol *numeric.Cholesky, s *sched.Schedule, b []float64) ([]float64, error) {
 	f := chol.F
 	n := f.N
-	if len(b) != n {
-		return nil, fmt.Errorf("exec: rhs length %d, want %d", len(b), n)
-	}
-	if len(s.ElemProc) != f.NNZ() {
-		return nil, fmt.Errorf("exec: schedule covers a different factor")
-	}
-	if err := checkProcCount(s.P); err != nil {
+	ops, perProc, backDeps, posOf, err := solveSetup(f, s, b)
+	if err != nil {
 		return nil, err
-	}
-	ops := model.NewOps(f)
-	colProc := make([]int32, n)
-	perProc := make([][]int, s.P)
-	for j := 0; j < n; j++ {
-		p := s.ElemProc[f.ColPtr[j]]
-		if err := checkProc(p, s.P); err != nil {
-			return nil, fmt.Errorf("exec: column %d: %w", j, err)
-		}
-		colProc[j] = p
-		perProc[p] = append(perProc[p], j)
-	}
-	// posOf(i, j): value index of L[i][j].
-	posOf := func(i, j int) int {
-		col := f.Col(j)
-		lo, hi := 0, len(col)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if col[mid] < i {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		return f.ColPtr[j] + lo
 	}
 
 	// Forward sweep.
@@ -73,21 +96,53 @@ func ParallelSolve(chol *numeric.Cholesky, s *sched.Schedule, b []float64) ([]fl
 	// Backward sweep: dependencies are struct(j) below the diagonal,
 	// traversed in decreasing column order.
 	x := make([]float64, n)
-	backDeps := make([][]int32, n)
-	for j := 0; j < n; j++ {
-		col := f.Col(j)[1:]
-		deps := make([]int32, len(col))
-		for t, i := range col {
-			deps[t] = int32(i)
-		}
-		backDeps[j] = deps
-	}
 	runSweep(s.P, perProc, true, func(j int) {
 		sum := y[j]
 		for q := f.ColPtr[j] + 1; q < f.ColPtr[j+1]; q++ {
 			sum -= chol.Val[q] * x[f.RowInd[q]]
 		}
 		x[j] = sum / chol.Val[f.ColPtr[j]]
+	}, func(j int) []int32 { return backDeps[j] }, n)
+	return x, nil
+}
+
+// ParallelSolveLDL is ParallelSolve for an LDLᵀ factorization: the same
+// fan-in sweeps adapted to the unit lower triangle and explicit diagonal
+// (L·z = b, w = D⁻¹·z folded into the backward start, Lᵀ·x = w):
+//
+//	forward:  z[j] = b[j] - Σ_{k in rowstruct(j)} L[j,k]·z[k]
+//	backward: x[j] = z[j]/D[j] - Σ_{i in struct(j), i>j} L[i,j]·x[i]
+//
+// Together with ParallelFactorizeLDL / ParallelFactorize2DLDL this closes
+// the LDLᵀ pipeline: both kernels now factor *and* solve in parallel
+// under any column-ownership schedule.
+func ParallelSolveLDL(ldl *numeric.LDL, s *sched.Schedule, b []float64) ([]float64, error) {
+	f := ldl.F
+	n := f.N
+	ops, perProc, backDeps, posOf, err := solveSetup(f, s, b)
+	if err != nil {
+		return nil, err
+	}
+
+	// Forward sweep over the unit lower triangle (no diagonal divide).
+	z := make([]float64, n)
+	runSweep(s.P, perProc, false, func(j int) {
+		sum := b[j]
+		for _, k := range ops.RowCols(j) {
+			sum -= ldl.Val[posOf(j, int(k))] * z[k]
+		}
+		z[j] = sum
+	}, func(j int) []int32 { return ops.RowCols(j) }, n)
+
+	// Backward sweep; the diagonal solve w = D⁻¹·z is folded into each
+	// column's starting value.
+	x := make([]float64, n)
+	runSweep(s.P, perProc, true, func(j int) {
+		sum := z[j] / ldl.Val[f.ColPtr[j]]
+		for q := f.ColPtr[j] + 1; q < f.ColPtr[j+1]; q++ {
+			sum -= ldl.Val[q] * x[f.RowInd[q]]
+		}
+		x[j] = sum
 	}, func(j int) []int32 { return backDeps[j] }, n)
 	return x, nil
 }

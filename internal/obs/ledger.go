@@ -56,11 +56,16 @@ type BenchRecord struct {
 	Traffic    int64           `json:"traffic"`
 	Efficiency float64         `json:"efficiency"`
 	Profile    *ProfileSummary `json:"profile,omitempty"`
-	// Real-execution fields, set only on Kind "measure" records.
+	// Real-execution fields, set on Kind "measure" and "pipeline" records.
 	SerialNs        int64   `json:"serial_ns,omitempty"`
 	MeasuredNs      int64   `json:"measured_ns,omitempty"`
 	MeasuredSpeedup float64 `json:"measured_speedup,omitempty"`
 	PredSpeedup     float64 `json:"predicted_speedup,omitempty"`
+	// Artifact-cache counters, set only on Kind "pipeline" records (the
+	// staged analyze-once/factor-many benchmark): store hits and misses
+	// accumulated across the benchmarked request sequence.
+	Hits   int64 `json:"hits,omitempty"`
+	Misses int64 `json:"misses,omitempty"`
 }
 
 // Ledger is the machine-readable bench output, written as BENCH_*.json:
@@ -97,6 +102,14 @@ var measureRequiredKeys = []string{
 	"serial_ns", "measured_ns", "measured_speedup", "predicted_speedup",
 }
 
+// pipelineRequiredKeys are additionally required on kind "pipeline"
+// records: the staged-pipeline row pairs cold/warm wall-clock times
+// (serial_ns = cold, measured_ns = warm) with the artifact-store
+// counters that prove the warm path did no symbolic or numeric work.
+var pipelineRequiredKeys = []string{
+	"serial_ns", "measured_ns", "measured_speedup", "hits", "misses",
+}
+
 // ValidateLedger checks that data is a parseable ledger with the current
 // schema tag, at least one record, and every required key present in every
 // record. It decodes into generic maps on purpose: the check guards the
@@ -128,8 +141,15 @@ func ValidateLedger(data []byte) error {
 				missing = append(missing, k)
 			}
 		}
-		if kind, _ := rec["kind"].(string); kind == "measure" {
+		switch kind, _ := rec["kind"].(string); kind {
+		case "measure":
 			for _, k := range measureRequiredKeys {
+				if _, ok := rec[k]; !ok {
+					missing = append(missing, k)
+				}
+			}
+		case "pipeline":
+			for _, k := range pipelineRequiredKeys {
 				if _, ok := rec[k]; !ok {
 					missing = append(missing, k)
 				}

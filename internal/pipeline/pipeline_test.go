@@ -1,0 +1,403 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/numeric"
+	"repro/internal/order"
+	"repro/internal/strategy"
+)
+
+func bitEqual(t *testing.T, got, want []float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d differs bitwise: %g vs %g", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestAnalysisMatchesDirectPipeline pins the Analysis artifact against
+// the hand-rolled pipeline: same ordering, same symbolic factor, and
+// PermuteValues bitwise equal to a structural Permute.
+func TestAnalysisMatchesDirectPipeline(t *testing.T) {
+	a := gen.Lap30()
+	an, err := NewAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := order.MMD(a)
+	for i := range perm {
+		if an.Perm[i] != perm[i] {
+			t.Fatalf("ordering differs at %d", i)
+		}
+	}
+	pm, err := a.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.F.NNZ() == 0 || an.Permuted.NNZ() != pm.NNZ() {
+		t.Fatal("permuted pattern differs")
+	}
+	pv, err := an.PermuteValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqual(t, pv, pm.Val, "PermuteValues vs Permute")
+	if an.Pattern.Val != nil || an.Permuted.Val != nil {
+		t.Fatal("analysis retained numeric values; it must be pattern-only")
+	}
+}
+
+// TestFactorChainEnginesBitIdentical pins the key-sharing contract: the
+// serial kernel, the 2D engine and the lifted column-granular 1D engine
+// produce bitwise identical values (so one cache key serves all three),
+// for both kernels.
+func TestFactorChainEnginesBitIdentical(t *testing.T) {
+	a := gen.Lap30()
+	an, err := NewAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kernel{Cholesky, LDL} {
+		base, err := an.Plan("wrap", 4, strategy.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := base.Factorize(a, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 4, 16} {
+			pl1, err := an.Plan("wrap", p, strategy.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fa1, err := pl1.FactorizeParallel(a, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitEqual(t, fa1.Val, serial.Val, "lifted 1D engine "+k.String())
+			if fa1.Key != serial.Key {
+				t.Fatalf("lifted 1D factor key %s != serial key %s", fa1.Key, serial.Key)
+			}
+			pl2, err := an.Plan2D("rect2d", p, strategy.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fa2, err := pl2.FactorizeParallel(a, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitEqual(t, fa2.Val, serial.Val, "2D engine "+k.String())
+			if fa2.Key != serial.Key {
+				t.Fatalf("2D factor key %s != serial key %s", fa2.Key, serial.Key)
+			}
+		}
+	}
+}
+
+// TestFactorBlockEngineKeyIncludesPlan pins that the 1D block engine —
+// whose rounding depends on the partition, and which may run over a
+// relaxed structure — never shares a key with serial factors.
+func TestFactorBlockEngineKeyIncludesPlan(t *testing.T) {
+	a := gen.Grid9(15, 15)
+	an, err := NewAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := an.Plan("block", 4, strategy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.S1.UnitProc == nil {
+		t.Fatal("block plan is not block-granular")
+	}
+	serial, err := pl.Factorize(a, Cholesky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pl.FactorizeParallel(a, Cholesky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Key == serial.Key {
+		t.Fatal("block-engine factor key must differ from the serial key")
+	}
+	// And it must solve correctly even over a relaxed factor.
+	relaxed, err := an.Plan("block", 4, strategy.Options{Part: core.Options{RelaxZeros: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := relaxed.FactorizeParallel(a, LDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, an.N())
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	x, err := fr.SolveParallel(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := numeric.ResidualNorm(a, x, b); r > 1e-8 {
+		t.Fatalf("relaxed block LDL parallel solve residual %g", r)
+	}
+}
+
+// TestSolveBatchBitIdentical pins SolveBatch against one-at-a-time Solve.
+func TestSolveBatchBitIdentical(t *testing.T) {
+	a := gen.Grid9(12, 12)
+	an, err := NewAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := an.Plan("contiguous", 4, strategy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := pl.Factorize(a, Cholesky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := make([][]float64, 9)
+	for r := range bs {
+		bs[r] = make([]float64, an.N())
+		for i := range bs[r] {
+			bs[r][i] = float64((i*(r+3))%13) - 6
+		}
+	}
+	xs, err := fa.SolveBatch(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range bs {
+		want, err := fa.Solve(bs[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitEqual(t, xs[r], want, "batch rhs")
+	}
+}
+
+// TestCacheServesIdenticalArtifacts is the cache-correctness pin: a
+// Factor reached through cache-hit Analysis and Plan artifacts is bitwise
+// identical to one built cold, and repeat requests do zero symbolic,
+// mapping or factorization work (all counters, no rebuilds).
+func TestCacheServesIdenticalArtifacts(t *testing.T) {
+	a := gen.Lap30()
+	cold, err := NewAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldPl, err := cold.Plan("wrap", 4, strategy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldFa, err := coldPl.Factorize(a, Cholesky)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache(0)
+	// First pass: three misses.
+	an, err := c.Analysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := c.Plan(an, "wrap", 4, strategy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := c.Factor(pl, a, Cholesky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqual(t, fa.Val, coldFa.Val, "cached-path factor vs cold factor")
+	st := c.Stats()
+	if st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("cold pass stats %+v, want 3 misses 0 hits", st)
+	}
+
+	// Second pass with a *different* matrix object of the same pattern
+	// and values: all hits, same artifact pointers.
+	a2 := gen.Lap30()
+	an2, err := c.Analysis(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := c.Plan(an2, "wrap", 4, strategy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa2, err := c.Factor(pl2, a2, Cholesky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an2 != an || pl2 != pl || fa2 != fa {
+		t.Fatal("repeat requests rebuilt artifacts instead of hitting the cache")
+	}
+	st = c.Stats()
+	if st.Misses != 3 || st.Hits != 3 {
+		t.Fatalf("warm pass stats %+v, want 3 misses 3 hits", st)
+	}
+	byKind := c.StatsByKind()
+	for _, kind := range []string{"analysis", "plan", "factor"} {
+		if byKind[kind].Hits != 1 || byKind[kind].Misses != 1 {
+			t.Fatalf("kind %s stats %+v, want 1 hit 1 miss", kind, byKind[kind])
+		}
+	}
+
+	// Different values, same pattern: analysis and plan hit, factor
+	// misses (values are part of the factor key).
+	a3 := gen.Lap30()
+	a3.Val[0] *= 2
+	an3, err := c.Analysis(a3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an3 != an {
+		t.Fatal("same pattern with new values must reuse the analysis")
+	}
+	pl3, err := c.Plan(an3, "wrap", 4, strategy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa3, err := c.Factor(pl3, a3, Cholesky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa3 == fa {
+		t.Fatal("different values must build a different factor")
+	}
+}
+
+// TestKeyDeterminism is the hash-determinism pin: equal inputs collide,
+// different inputs (pattern, permutation, strategy, P, options, kernel,
+// values, engine) do not.
+func TestKeyDeterminism(t *testing.T) {
+	a := gen.Grid9(10, 10)
+	b := gen.Grid9(10, 10)
+	if AnalysisKey(a) != AnalysisKey(b) {
+		t.Fatal("same pattern produced different analysis keys")
+	}
+	perm := order.MMD(a)
+	pm, err := a.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AnalysisKey(a) == AnalysisKey(pm) {
+		t.Fatal("permuted pattern shares the analysis key")
+	}
+	if AnalysisKey(a) == AnalysisKey(gen.Grid9(10, 11)) {
+		t.Fatal("different pattern shares the analysis key")
+	}
+	an, err := NewAnalysis(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anOrd, err := NewAnalysisOrdered(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Key == anOrd.Key {
+		t.Fatal("explicit ordering shares the MMD analysis key")
+	}
+	base := an.PlanKey("wrap", 4, strategy.Options{}, false)
+	if base != an.PlanKey("wrap", 4, strategy.Options{}, false) {
+		t.Fatal("plan key not deterministic")
+	}
+	variants := []struct {
+		name string
+		key  interface{ String() string }
+	}{
+		{"strategy", an.PlanKey("block", 4, strategy.Options{}, false)},
+		{"p", an.PlanKey("wrap", 8, strategy.Options{}, false)},
+		{"dim", an.PlanKey("wrap", 4, strategy.Options{}, true)},
+		{"opts", an.PlanKey("wrap", 4, strategy.Options{BlockSize: 8}, false)},
+		{"analysis", anOrd.PlanKey("wrap", 4, strategy.Options{}, false)},
+	}
+	for _, v := range variants {
+		if v.key == base {
+			t.Fatalf("plan key ignores %s", v.name)
+		}
+	}
+	// Telemetry must not influence the key; partition normalization must.
+	withSearch := strategy.Options{}
+	withSearch.Search = nil
+	if an.PlanKey("wrap", 4, withSearch, false) != base {
+		t.Fatal("plan key unstable under zero options")
+	}
+	defaulted := an.PlanKey("block", 4, strategy.Options{}, false)
+	normalized := an.PlanKey("block", 4, strategy.Options{Part: core.Options{Grain: 4, MinClusterWidth: 4}}, false)
+	if defaulted != normalized {
+		t.Fatal("plan key must normalize partition options")
+	}
+
+	pl, err := an.Plan("wrap", 4, strategy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk := pl.FactorKey(Cholesky, a, false)
+	if fk != pl.FactorKey(Cholesky, a, false) {
+		t.Fatal("factor key not deterministic")
+	}
+	if fk != pl.FactorKey(Cholesky, a, true) {
+		t.Fatal("chain-parallel factor must share the serial key")
+	}
+	if fk == pl.FactorKey(LDL, a, false) {
+		t.Fatal("factor key ignores the kernel")
+	}
+	a4 := gen.Grid9(10, 10)
+	a4.Val[3] += 0.5
+	if fk == pl.FactorKey(Cholesky, a4, false) {
+		t.Fatal("factor key ignores the values")
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines (run under
+// -race): every solve must agree bitwise, and the store must end with
+// exactly one build per distinct artifact.
+func TestCacheConcurrent(t *testing.T) {
+	a := gen.Grid9(14, 14)
+	c := NewCache(64)
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	want, err := c.Solve(a, "wrap", 4, strategy.Options{}, Cholesky, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				x, err := c.Solve(a, "wrap", 4, strategy.Options{}, Cholesky, b)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range want {
+					if x[j] != want[j] {
+						t.Errorf("concurrent solve diverged at %d", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Misses != 3 {
+		t.Fatalf("concurrent solves rebuilt artifacts: %+v", st)
+	}
+}

@@ -1,0 +1,185 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/exec"
+	"repro/internal/part2d"
+	"repro/internal/sched"
+	"repro/internal/strategy"
+	"repro/internal/traffic"
+)
+
+// Plan is the mapping-stage artifact: one strategy's assignment of the
+// analyzed factorization to P processors, plus the derived products the
+// simulators and the parallel engines consume — the makespan task graph
+// and the per-task fetch attribution. Exactly one of S1 (1D column/block
+// schedule) and S2 (2D tile schedule) is non-nil.
+type Plan struct {
+	An       *Analysis
+	Strategy string
+	P        int
+	Opts     strategy.Options
+	S1       *sched.Schedule
+	S2       *part2d.Schedule2D
+	// Tasks is the makespan task graph of the schedule and Fetch its
+	// fetch attribution (volumes summing to the traffic total, plus
+	// consolidated message counts).
+	Tasks []exec.Task
+	Fetch *traffic.TaskComm
+	// Key content-addresses this artifact: the analysis key plus the
+	// strategy name, processor count and every mapping-relevant option.
+	Key artifact.Key
+
+	// elemTask maps factor elements to task IDs (2D plans only).
+	elemTask []int32
+	// lift caches the 2D lift of a column-granular 1D schedule, built on
+	// first parallel factorization.
+	liftOnce sync.Once
+	lift     *part2d.Schedule2D
+	liftErr  error
+	liftTask []exec.Task
+	liftElem []int32
+}
+
+// hashOptions mixes every mapping-relevant field of opts into h.
+// Options.Search is telemetry, not a mapping parameter, and is excluded;
+// Part is normalized first so option sets that select the same partition
+// share a key.
+func hashOptions(h *artifact.Hasher, opts strategy.Options) {
+	po := opts.Part.Normalized()
+	h.I64(int64(po.Grain))
+	h.I64(int64(po.MinClusterWidth))
+	h.I64(int64(po.RelaxZeros))
+	h.I64(int64(opts.BlockSize))
+	h.Str(opts.Base)
+	h.Str(opts.Objective)
+	h.I64(int64(opts.MaxMoves))
+	h.F64(opts.Slack)
+	h.F64(opts.Beta2)
+	h.F64(opts.Comm.Alpha)
+	h.F64(opts.Comm.Beta)
+}
+
+// PlanKey returns the content address of the plan (name, p, opts) would
+// build from this analysis; dim2 selects the 2D registry. Computing the
+// key never runs the mapper, which is what lets a cache decide hit/miss
+// first.
+func (an *Analysis) PlanKey(name string, p int, opts strategy.Options, dim2 bool) artifact.Key {
+	h := artifact.NewHasher("plan")
+	h.Key(an.Key)
+	if dim2 {
+		h.Str("2d")
+	} else {
+		h.Str("1d")
+	}
+	h.Str(name)
+	h.I64(int64(p))
+	hashOptions(h, opts)
+	return h.Sum()
+}
+
+// Plan maps the analysis with the named 1D strategy and derives the task
+// graph and fetch stats the downstream stages need.
+func (an *Analysis) Plan(name string, p int, opts strategy.Options) (*Plan, error) {
+	sc, err := strategy.Map(name, an.sys, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		An: an, Strategy: name, P: p, Opts: opts, S1: sc,
+		Tasks: strategy.Tasks(an.sys, opts, sc),
+		Fetch: strategy.FetchStats(an.sys, opts, sc),
+		Key:   an.PlanKey(name, p, opts, false),
+	}, nil
+}
+
+// Plan2D maps the analysis with the named 2D strategy from the part2d
+// registry.
+func (an *Analysis) Plan2D(name string, p int, opts strategy.Options) (*Plan, error) {
+	s2, err := part2d.Map2D(name, an.sys, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	tasks, elemTask := part2d.Tasks(an.Ops, an.ElemWork, s2)
+	return &Plan{
+		An: an, Strategy: name, P: p, Opts: opts, S2: s2,
+		Tasks:    tasks,
+		Fetch:    part2d.FetchStats(an.Ops, s2, len(tasks), elemTask),
+		Key:      an.PlanKey(name, p, opts, true),
+		elemTask: elemTask,
+	}, nil
+}
+
+// Is2D reports whether the plan carries a 2D tile schedule.
+func (pl *Plan) Is2D() bool { return pl.S2 != nil }
+
+// TrafficTotal returns the simulated data-traffic total of the plan's
+// schedule (the fetch volumes partition it exactly).
+func (pl *Plan) TrafficTotal() int64 { return pl.Fetch.TotalVol() }
+
+// Makespan simulates dependency-delay execution of the plan's task graph
+// with static per-processor order.
+func (pl *Plan) Makespan() exec.SimResult {
+	return exec.SimulateMakespan(pl.Tasks, pl.P)
+}
+
+// MakespanComm is Makespan with communication-aware task durations under
+// cm, charging each task its attributed fetch volume and message count.
+func (pl *Plan) MakespanComm(cm exec.CommModel) exec.SimResult {
+	return exec.SimulateMakespanComm(pl.Tasks, pl.P, cm, pl.Fetch.Vol, pl.Fetch.Msgs)
+}
+
+// columnOwners returns the processor owning each column's diagonal under
+// this plan (over the structure the plan's schedule covers).
+func (pl *Plan) columnOwners() []int32 {
+	n := pl.An.F.N
+	owner := make([]int32, n)
+	switch {
+	case pl.S2 != nil:
+		for j := 0; j < n; j++ {
+			b := int(pl.S2.BlockOf[j])
+			owner[j] = pl.S2.Owner[part2d.TileID(b, b)]
+		}
+	case pl.S1.UnitProc != nil:
+		f := pl.An.sys.Partition(pl.Opts.Part).F
+		for j := 0; j < n; j++ {
+			owner[j] = pl.S1.ElemProc[f.ColPtr[j]]
+		}
+	default:
+		f := pl.An.F
+		for j := 0; j < n; j++ {
+			owner[j] = pl.S1.ElemProc[f.ColPtr[j]]
+		}
+	}
+	return owner
+}
+
+// chainTasks returns a task graph driving the exact-serial-order 2D
+// engine for this plan: the plan's own graph for 2D plans, or the lifted
+// graph for column-granular 1D plans. Block-granular 1D plans (which may
+// run over a relaxed factor) return ok=false and use the 1D block engine
+// instead.
+func (pl *Plan) chainTasks() (tasks []exec.Task, elemTask []int32, ok bool, err error) {
+	if pl.S2 != nil {
+		return pl.Tasks, pl.elemTask, true, nil
+	}
+	if pl.S1.UnitProc != nil {
+		return nil, nil, false, nil
+	}
+	pl.liftOnce.Do(func() {
+		s2, err := part2d.Lift(pl.An.sys, pl.S1, pl.Strategy)
+		if err != nil {
+			pl.liftErr = fmt.Errorf("pipeline: lifting %q schedule: %w", pl.Strategy, err)
+			return
+		}
+		pl.lift = s2
+		pl.liftTask, pl.liftElem = part2d.Tasks(pl.An.Ops, pl.An.ElemWork, s2)
+	})
+	if pl.liftErr != nil {
+		return nil, nil, false, pl.liftErr
+	}
+	return pl.liftTask, pl.liftElem, true, nil
+}

@@ -23,9 +23,11 @@ type StrategyRow struct {
 	MakespanEff float64 // dependency-delay simulation efficiency
 }
 
-// StrategySys returns the strategy-subsystem view of a loaded problem.
+// StrategySys returns the strategy-subsystem view of a loaded problem —
+// the analysis artifact's shared, goroutine-safe instance (one partition
+// cache per problem, not one per call).
 func (p *Problem) StrategySys() *strategy.Sys {
-	return strategy.NewSys(p.F, p.Ops, p.ElemWork)
+	return p.An.Sys()
 }
 
 // StrategyCompare evaluates every registered mapping strategy on every

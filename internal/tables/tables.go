@@ -12,7 +12,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/model"
-	"repro/internal/order"
+	"repro/internal/pipeline"
 	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/symbolic"
@@ -31,39 +31,42 @@ var DefaultGrains = []int{4, 25}
 // DefaultWidth is the minimum cluster width used for Tables 2, 3 and 5.
 const DefaultWidth = 4
 
-// Problem caches the full pipeline products for one test matrix.
+// Problem is the table generators' view of one test matrix: the staged
+// pattern analysis (ordering, symbolic factor, work model, partition
+// cache) plus the permuted matrix with values for the numeric studies.
 type Problem struct {
 	Meta     gen.TestMatrix
 	A        *sparse.Matrix
-	Permuted *sparse.Matrix
+	Permuted *sparse.Matrix // permuted pattern with values installed
+	An       *pipeline.Analysis
 	F        *symbolic.Factor
 	Ops      *model.Ops
 	ElemWork []int64
 	Total    int64
-
-	parts map[[2]int]*core.Partition
 }
 
-// LoadProblem runs ordering and symbolic factorization for a test matrix.
+// LoadProblem runs ordering and symbolic factorization for a test matrix
+// through the staged pipeline, so partitions, schedules and the strategy
+// subsystem are all served from the analysis artifact's caches.
 func LoadProblem(tm gen.TestMatrix) (*Problem, error) {
 	a := tm.Build()
-	perm := order.MMD(a)
-	pm, err := a.Permute(perm)
+	an, err := pipeline.NewAnalysis(a)
 	if err != nil {
 		return nil, fmt.Errorf("tables: %s: %w", tm.Name, err)
 	}
-	f := symbolic.Analyze(pm)
-	ops := model.NewOps(f)
-	ew := model.ElementWork(ops)
+	pm, err := an.PermutedWithValues(a)
+	if err != nil {
+		return nil, fmt.Errorf("tables: %s: %w", tm.Name, err)
+	}
 	return &Problem{
 		Meta:     tm,
 		A:        a,
 		Permuted: pm,
-		F:        f,
-		Ops:      ops,
-		ElemWork: ew,
-		Total:    model.TotalWork(ew),
-		parts:    make(map[[2]int]*core.Partition),
+		An:       an,
+		F:        an.F,
+		Ops:      an.Ops,
+		ElemWork: an.ElemWork,
+		Total:    an.Total,
 	}, nil
 }
 
@@ -80,15 +83,10 @@ func LoadSuite() ([]*Problem, error) {
 	return out, nil
 }
 
-// Part returns the (grain, width) partition, computed once.
+// Part returns the (grain, width) partition, computed once per option
+// set in the analysis' goroutine-safe partition cache.
 func (p *Problem) Part(g, w int) *core.Partition {
-	key := [2]int{g, w}
-	if pt, ok := p.parts[key]; ok {
-		return pt
-	}
-	pt := core.NewPartition(p.F, core.Options{Grain: g, MinClusterWidth: w})
-	p.parts[key] = pt
-	return pt
+	return p.An.Sys().Partition(core.Options{Grain: g, MinClusterWidth: w})
 }
 
 // Block runs the block mapping and its traffic simulation.

@@ -136,28 +136,28 @@ func (s *System) TraceMakespanCommDynamic(opts StrategyOptions, sc *Schedule, cm
 // tasks.
 func (s *System) TraceMakespan2D(sc *Schedule2D) (MakespanResult, []TraceEvent) {
 	t := obs.NewTracer()
-	res := part2d.MakespanProbe(s.ops, s.elemWork, sc, t)
+	res := part2d.MakespanProbe(s.an.Ops, s.an.ElemWork, sc, t)
 	return res, t.Events
 }
 
 // TraceMakespan2DDynamic is Makespan2DDynamic with tracing.
 func (s *System) TraceMakespan2DDynamic(sc *Schedule2D) (MakespanResult, []TraceEvent) {
 	t := obs.NewTracer()
-	res := part2d.MakespanDynamicProbe(s.ops, s.elemWork, sc, t)
+	res := part2d.MakespanDynamicProbe(s.an.Ops, s.an.ElemWork, sc, t)
 	return res, t.Events
 }
 
 // TraceMakespan2DComm is Makespan2DComm with tracing.
 func (s *System) TraceMakespan2DComm(sc *Schedule2D, cm CommModel) (MakespanResult, []TraceEvent) {
 	t := obs.NewTracer()
-	res := part2d.MakespanCommProbe(s.ops, s.elemWork, sc, cm, t)
+	res := part2d.MakespanCommProbe(s.an.Ops, s.an.ElemWork, sc, cm, t)
 	return res, t.Events
 }
 
 // TraceMakespan2DCommDynamic is Makespan2DCommDynamic with tracing.
 func (s *System) TraceMakespan2DCommDynamic(sc *Schedule2D, cm CommModel) (MakespanResult, []TraceEvent) {
 	t := obs.NewTracer()
-	res := part2d.MakespanCommDynamicProbe(s.ops, s.elemWork, sc, cm, t)
+	res := part2d.MakespanCommDynamicProbe(s.an.Ops, s.an.ElemWork, sc, cm, t)
 	return res, t.Events
 }
 

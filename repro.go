@@ -50,7 +50,6 @@ package repro
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -60,6 +59,7 @@ import (
 	"repro/internal/numeric"
 	"repro/internal/order"
 	"repro/internal/part2d"
+	"repro/internal/pipeline"
 	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/strategy"
@@ -70,8 +70,10 @@ import (
 // Matrix is a sparse symmetric matrix stored as its lower triangle.
 type Matrix = sparse.Matrix
 
-// Factor is the symbolic structure of a Cholesky factor.
-type Factor = symbolic.Factor
+// SymbolicFactor is the symbolic structure of a Cholesky factor. (The
+// name Factor now denotes the numeric-stage artifact of the staged
+// pipeline; see staged.go.)
+type SymbolicFactor = symbolic.Factor
 
 // Partition is the block-based partitioner output: clusters, unit blocks
 // and their dependency graph.
@@ -125,7 +127,11 @@ type HBHeader = hbio.Header
 type TestMatrix = gen.TestMatrix
 
 // System bundles the analysis products of one matrix: the fill-reducing
-// ordering, the permuted matrix and the symbolic factor.
+// ordering, the permuted matrix and the symbolic factor. It is a view
+// over the staged pipeline's Analysis artifact (see staged.go) that keeps
+// the original monolithic surface working; new code should hold the
+// staged artifacts directly, which make the analyze-once / factor-many /
+// solve-many split explicit and cacheable.
 type System struct {
 	// A is the original matrix, Order the fill-reducing permutation
 	// (Order[k] = original index of the k-th eliminated variable), and
@@ -133,47 +139,51 @@ type System struct {
 	A        *Matrix
 	Order    []int
 	Permuted *Matrix
-	F        *Factor
+	F        *SymbolicFactor
 
-	ops      *model.Ops
-	elemWork []int64
-	total    int64
-
-	stratMu sync.Mutex
-	strat   *strategy.Sys
+	an *pipeline.Analysis
 }
 
 // Analyze orders the matrix with multiple minimum degree and computes the
 // symbolic factorization, the inputs of the partitioning pipeline.
 func Analyze(a *Matrix) (*System, error) {
-	if err := a.Validate(); err != nil {
-		return nil, fmt.Errorf("repro: invalid matrix: %w", err)
+	an, err := pipeline.NewAnalysis(a)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
 	}
-	return AnalyzeOrdered(a, order.MMD(a))
+	return systemFrom(a, an)
 }
 
 // AnalyzeOrdered is Analyze with a caller-supplied elimination order
 // (order[k] = original index of the k-th variable). Use MMDOrder,
 // RCMOrder, NDOrder or PostOrderPerm to produce one.
 func AnalyzeOrdered(a *Matrix, perm []int) (*System, error) {
-	if err := a.Validate(); err != nil {
-		return nil, fmt.Errorf("repro: invalid matrix: %w", err)
-	}
-	if !order.IsPermutation(perm) || len(perm) != a.N {
-		return nil, fmt.Errorf("repro: ordering is not a permutation of 0..%d", a.N-1)
-	}
-	pm, err := a.Permute(perm)
+	an, err := pipeline.NewAnalysisOrdered(a, perm)
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
-	f := symbolic.Analyze(pm)
-	ops := model.NewOps(f)
-	ew := model.ElementWork(ops)
-	return &System{
-		A: a, Order: perm, Permuted: pm, F: f,
-		ops: ops, elemWork: ew, total: model.TotalWork(ew),
-	}, nil
+	return systemFrom(a, an)
 }
+
+// systemFrom wraps a staged Analysis as a System, reattaching a's values
+// to the pattern-only permuted matrix (bitwise what a.Permute produced
+// before the split).
+func systemFrom(a *Matrix, an *pipeline.Analysis) (*System, error) {
+	pm := an.Permuted
+	if a.Val != nil {
+		pv, err := an.PermuteValues(a)
+		if err != nil {
+			return nil, fmt.Errorf("repro: %w", err)
+		}
+		pm = &Matrix{N: pm.N, ColPtr: pm.ColPtr, RowInd: pm.RowInd, Val: pv}
+	}
+	return &System{A: a, Order: an.Perm, Permuted: pm, F: an.F, an: an}, nil
+}
+
+// Analysis returns the staged pattern-stage artifact this System wraps,
+// the entry point for the staged plan/factor/solve API and the artifact
+// Cache.
+func (s *System) Analysis() *Analysis { return s.an }
 
 // MMDOrder computes the multiple-minimum-degree ordering (the paper's
 // choice for every experiment).
@@ -196,7 +206,7 @@ func PostOrderPerm(a *Matrix, perm []int) ([]int, error) {
 
 // TotalWork returns the total factorization work under the paper's model
 // (2 units per pair update, 1 unit per diagonal update).
-func (s *System) TotalWork() int64 { return s.total }
+func (s *System) TotalWork() int64 { return s.an.Total }
 
 // Partition runs the block-based partitioner of Section 3.
 func (s *System) Partition(opts PartitionOptions) *Partition {
@@ -221,7 +231,7 @@ func (s *System) BlockScheduleGreedy(part *Partition, p int) *Schedule {
 // WrapSchedule assigns column j to processor j mod p (the paper's
 // baseline).
 func (s *System) WrapSchedule(p int) *Schedule {
-	return sched.WrapMap(s.F, s.elemWork, p)
+	return sched.WrapMap(s.F, s.an.ElemWork, p)
 }
 
 // ------------------------------------------------------------ strategies
@@ -242,16 +252,9 @@ func Strategies() []string { return strategy.Names() }
 // from the strategy package's objective table.
 func RefineObjectives() []string { return strategy.Objectives() }
 
-// strategySys lazily builds the strategy-subsystem view of this analysis,
-// sharing the already-computed ops and element work.
-func (s *System) strategySys() *strategy.Sys {
-	s.stratMu.Lock()
-	defer s.stratMu.Unlock()
-	if s.strat == nil {
-		s.strat = strategy.NewSys(s.F, s.ops, s.elemWork)
-	}
-	return s.strat
-}
+// strategySys returns the strategy-subsystem view of this analysis
+// (shared ops, element work and the goroutine-safe partition cache).
+func (s *System) strategySys() *strategy.Sys { return s.an.Sys() }
 
 // MapStrategy runs the named registered strategy, producing a schedule
 // the traffic and makespan simulators evaluate like any other. Unknown
@@ -361,7 +364,7 @@ func (s *System) Lift2D(sc *Schedule, name string) (*Schedule2D, error) {
 // row of tiles) or fan-in (sources and diagonals converging along the
 // target's column of tiles). Fan-out plus fan-in equals the total.
 func (s *System) Traffic2D(sc *Schedule2D) *Traffic2DResult {
-	return part2d.Traffic(s.ops, sc)
+	return part2d.Traffic(s.an.Ops, sc)
 }
 
 // Makespan2D simulates dependency-delay execution of a 2D schedule over
@@ -369,13 +372,13 @@ func (s *System) Traffic2D(sc *Schedule2D) *Traffic2DResult {
 // a column-granular tiling (any col2d lift) it is bit-identical to
 // StrategyMakespan on the lifted 1D schedule.
 func (s *System) Makespan2D(sc *Schedule2D) MakespanResult {
-	return part2d.Makespan(s.ops, s.elemWork, sc)
+	return part2d.Makespan(s.an.Ops, s.an.ElemWork, sc)
 }
 
 // Makespan2DDynamic is Makespan2D with a dynamic critical-path-priority
 // ready queue on each processor.
 func (s *System) Makespan2DDynamic(sc *Schedule2D) MakespanResult {
-	return part2d.MakespanDynamic(s.ops, s.elemWork, sc)
+	return part2d.MakespanDynamic(s.an.Ops, s.an.ElemWork, sc)
 }
 
 // Makespan2DComm simulates dependency-delay execution of a 2D schedule
@@ -384,12 +387,12 @@ func (s *System) Makespan2DDynamic(sc *Schedule2D) MakespanResult {
 // a zero CommModel it is identical to Makespan2D; on col2d lifts it is
 // bit-identical to StrategyMakespanComm.
 func (s *System) Makespan2DComm(sc *Schedule2D, cm CommModel) MakespanResult {
-	return part2d.MakespanComm(s.ops, s.elemWork, sc, cm)
+	return part2d.MakespanComm(s.an.Ops, s.an.ElemWork, sc, cm)
 }
 
 // Makespan2DCommDynamic is Makespan2DComm with the dynamic ready queue.
 func (s *System) Makespan2DCommDynamic(sc *Schedule2D, cm CommModel) MakespanResult {
-	return part2d.MakespanCommDynamic(s.ops, s.elemWork, sc, cm)
+	return part2d.MakespanCommDynamic(s.an.Ops, s.an.ElemWork, sc, cm)
 }
 
 // MeasureOptions configures MeasureFactorize2D (kernel choice and the
@@ -408,8 +411,11 @@ type Measurement = exec.Measurement
 // returned values are bit-for-bit equal to Factorize (updates run in the
 // serial chain order with identical association, so the result does not
 // depend on how the workers interleave).
+//
+// Deprecated: use Plan.FactorizeParallel on a 2D plan, which returns a
+// solvable Factor artifact instead of raw values.
 func (s *System) ParallelFactorize2D(sc *Schedule2D) ([]float64, error) {
-	nf, err := part2d.ParallelFactorize(s.Permuted, s.ops, s.elemWork, sc)
+	nf, err := part2d.ParallelFactorize(s.Permuted, s.an.Ops, s.an.ElemWork, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -418,8 +424,10 @@ func (s *System) ParallelFactorize2D(sc *Schedule2D) ([]float64, error) {
 
 // ParallelFactorize2DLDL is ParallelFactorize2D with the square-root-free
 // LDLᵀ kernel, bit-for-bit equal to FactorizeLDL.
+//
+// Deprecated: use Plan.FactorizeParallel on a 2D plan with KernelLDL.
 func (s *System) ParallelFactorize2DLDL(sc *Schedule2D) ([]float64, error) {
-	nf, err := part2d.ParallelFactorizeLDL(s.Permuted, s.ops, s.elemWork, sc)
+	nf, err := part2d.ParallelFactorizeLDL(s.Permuted, s.an.Ops, s.an.ElemWork, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -432,14 +440,14 @@ func (s *System) ParallelFactorize2DLDL(sc *Schedule2D) ([]float64, error) {
 // Its Events aggregate through BuildRealProfile and feed the Chrome-trace
 // and Gantt exporters directly.
 func (s *System) MeasureFactorize2D(sc *Schedule2D, opts MeasureOptions) (*Measurement, error) {
-	return part2d.Measure(s.Permuted, s.ops, s.elemWork, sc, opts)
+	return part2d.Measure(s.Permuted, s.an.Ops, s.an.ElemWork, sc, opts)
 }
 
 // Traffic simulates the data traffic of a schedule under the paper's
 // model: one unit per distinct non-local element fetched per processor.
 // For block schedules over a relaxed partition use TrafficPart.
 func (s *System) Traffic(sc *Schedule) *TrafficResult {
-	return traffic.Simulate(s.ops, sc)
+	return traffic.Simulate(s.an.Ops, sc)
 }
 
 // TrafficPart simulates traffic for a block schedule over the given
@@ -447,7 +455,7 @@ func (s *System) Traffic(sc *Schedule) *TrafficResult {
 // superset of the analysis factor.
 func (s *System) TrafficPart(part *Partition, sc *Schedule) *TrafficResult {
 	if part.F == s.F {
-		return traffic.Simulate(s.ops, sc)
+		return traffic.Simulate(s.an.Ops, sc)
 	}
 	return traffic.Simulate(model.NewOps(part.F), sc)
 }
@@ -462,7 +470,7 @@ func (s *System) BlockMakespan(part *Partition, sc *Schedule) MakespanResult {
 // WrapMakespan simulates execution with dependency delays for the wrap
 // mapping (one task per column).
 func (s *System) WrapMakespan(p int) MakespanResult {
-	tasks := exec.ColumnTasks(s.F, s.ops, s.elemWork, p)
+	tasks := exec.ColumnTasks(s.F, s.an.Ops, s.an.ElemWork, p)
 	return exec.SimulateMakespan(tasks, p)
 }
 
@@ -492,6 +500,9 @@ func SimulateDAGDynamic(tasks []Task, p int) MakespanResult {
 func CriticalPath(tasks []Task) int64 { return exec.CriticalPath(tasks) }
 
 // Factorize computes the numeric Cholesky factor of the permuted matrix.
+//
+// Deprecated: use the staged pipeline (Plan.Factorize), which caches by
+// (pattern, values, kernel) through a Cache.
 func (s *System) Factorize() (*Cholesky, error) {
 	return numeric.Factorize(s.Permuted, s.F)
 }
@@ -501,11 +512,15 @@ func (s *System) Factorize() (*Cholesky, error) {
 // as no pivot vanishes, and its element-level dependency structure is
 // identical to Cholesky's, so every partition and schedule applies
 // unchanged (the paper's Section 5 adaptability claim).
+//
+// Deprecated: use the staged pipeline (Plan.Factorize with KernelLDL).
 func (s *System) FactorizeLDL() (*LDL, error) {
 	return numeric.FactorizeLDL(s.Permuted, s.F)
 }
 
 // ParallelFactorizeLDL is ParallelFactorize with the LDLᵀ kernel.
+//
+// Deprecated: use Plan.FactorizeParallel with KernelLDL.
 func (s *System) ParallelFactorizeLDL(part *Partition, sc *Schedule) ([]float64, error) {
 	nf, err := exec.ParallelFactorizeLDL(s.Permuted, part, sc)
 	if err != nil {
@@ -517,6 +532,8 @@ func (s *System) ParallelFactorizeLDL(part *Partition, sc *Schedule) ([]float64,
 // ParallelFactorize executes the numeric factorization with one worker
 // goroutine per simulated processor, synchronizing on the block dependency
 // graph, and returns the factor values (aligned with F's structure).
+//
+// Deprecated: use Plan.FactorizeParallel on a block-granular 1D plan.
 func (s *System) ParallelFactorize(part *Partition, sc *Schedule) ([]float64, error) {
 	nf, err := exec.ParallelFactorize(s.Permuted, part, sc)
 	if err != nil {
@@ -530,6 +547,10 @@ func (s *System) ParallelFactorize(part *Partition, sc *Schedule) ([]float64, er
 // Cholesky factorization followed by parallel forward and backward
 // triangular sweeps (the complete four-step pipeline of the paper's
 // Section 2, distributed). x is returned in the original variable order.
+//
+// Deprecated: SolveParallel re-factorizes on every call. Build the plan
+// once (Analysis.Plan), factor once (Plan.FactorizeParallel) and call
+// Factor.SolveParallel per rhs.
 func (s *System) SolveParallel(part *Partition, sc *Schedule, b []float64) ([]float64, error) {
 	if len(b) != s.A.N {
 		return nil, fmt.Errorf("repro: rhs length %d, want %d", len(b), s.A.N)
@@ -556,6 +577,10 @@ func (s *System) SolveParallel(part *Partition, sc *Schedule, b []float64) ([]fl
 
 // Solve solves A·x = b for the original (unpermuted) system, running the
 // whole direct-method pipeline of Section 2.
+//
+// Deprecated: Solve re-factorizes on every call. Hold a staged Factor
+// (Plan.Factorize via AnalyzePattern or a Cache) and call Factor.Solve,
+// which is bit-identical and performs zero factorization work per call.
 func (s *System) Solve(b []float64) ([]float64, error) {
 	if len(b) != s.A.N {
 		return nil, fmt.Errorf("repro: rhs length %d, want %d", len(b), s.A.N)
