@@ -1,0 +1,80 @@
+// Command reprolint runs the repo-native static analyzers over the given
+// package patterns and exits non-zero on any finding:
+//
+//	go run ./cmd/reprolint ./...            # the CI lint gate
+//	go run ./cmd/reprolint -list            # what is enforced
+//	go run ./cmd/reprolint -only maporder,procguard ./internal/exec
+//
+// Findings print as "file:line: analyzer: message" and are suppressed in
+// place with
+//
+//	//repro:allow <analyzer> -- <reason>
+//
+// on the flagged line or the line above; the reason is mandatory and
+// unused suppressions are themselves findings, so the waiver set cannot
+// rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := lint.Select(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		// Paths relative to the module root keep output stable across
+		// checkouts (and clickable from the repo root).
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

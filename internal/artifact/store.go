@@ -58,7 +58,7 @@ func (s *Store) GetOrBuild(k Key, build func() (any, error)) (any, bool, error) 
 	s.mu.Lock()
 	if e, ok := s.items[k]; ok {
 		s.ll.MoveToFront(e.elem)
-		s.kind(k.Kind).Hits++
+		s.kindLocked(k.Kind).Hits++
 		s.total.Hits++
 		s.mu.Unlock()
 		<-e.done
@@ -67,7 +67,7 @@ func (s *Store) GetOrBuild(k Key, build func() (any, error)) (any, bool, error) 
 	e := &entry{key: k, done: make(chan struct{})}
 	e.elem = s.ll.PushFront(e)
 	s.items[k] = e
-	s.kind(k.Kind).Misses++
+	s.kindLocked(k.Kind).Misses++
 	s.total.Misses++
 	s.mu.Unlock()
 
@@ -76,9 +76,9 @@ func (s *Store) GetOrBuild(k Key, build func() (any, error)) (any, bool, error) 
 
 	s.mu.Lock()
 	if e.err != nil {
-		s.drop(e)
+		s.dropLocked(e)
 	} else {
-		s.evict()
+		s.evictLocked()
 	}
 	s.mu.Unlock()
 	return e.val, false, e.err
@@ -103,14 +103,15 @@ func (s *Store) StatsByKind() map[string]Counts {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]Counts, len(s.byKind))
+	//repro:allow maporder -- order-insensitive map-to-map copy; callers that render it (tables) sort the keys themselves
 	for k, c := range s.byKind {
 		out[k] = *c
 	}
 	return out
 }
 
-// kind returns the counter struct for one kind; callers hold s.mu.
-func (s *Store) kind(name string) *Counts {
+// kindLocked returns the counter struct for one kind; callers hold s.mu.
+func (s *Store) kindLocked(name string) *Counts {
 	c, ok := s.byKind[name]
 	if !ok {
 		c = &Counts{}
@@ -119,18 +120,19 @@ func (s *Store) kind(name string) *Counts {
 	return c
 }
 
-// drop removes a (failed) entry without counting an eviction; callers
-// hold s.mu. The entry may already be gone if evict raced ahead.
-func (s *Store) drop(e *entry) {
+// dropLocked removes a (failed) entry without counting an eviction;
+// callers hold s.mu. The entry may already be gone if eviction raced
+// ahead.
+func (s *Store) dropLocked(e *entry) {
 	if cur, ok := s.items[e.key]; ok && cur == e {
 		delete(s.items, e.key)
 		s.ll.Remove(e.elem)
 	}
 }
 
-// evict enforces the LRU bound, skipping in-flight builds (they are
-// pinned until they finish); callers hold s.mu.
-func (s *Store) evict() {
+// evictLocked enforces the LRU bound, skipping in-flight builds (they
+// are pinned until they finish); callers hold s.mu.
+func (s *Store) evictLocked() {
 	if s.cap <= 0 {
 		return
 	}
@@ -141,7 +143,7 @@ func (s *Store) evict() {
 		case <-e.done:
 			delete(s.items, e.key)
 			s.ll.Remove(el)
-			s.kind(e.key.Kind).Evictions++
+			s.kindLocked(e.key.Kind).Evictions++
 			s.total.Evictions++
 		default:
 			// still building: pinned

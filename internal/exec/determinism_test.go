@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+// TestParallelFactorizeDeterminism pins bit-for-bit stability of the
+// parallel engine across repeated runs on the same schedule: the worker
+// goroutines synchronize on the execPreds unit graph, which is built by
+// insertion-order deduplication plus an explicit sort (exec.go), never by
+// map iteration. If scheduling order ever leaked into the numerics, two
+// runs would disagree in the low bits here. CI runs this with -race and
+// -count=2.
+func TestParallelFactorizeDeterminism(t *testing.T) {
+	for _, tm := range gen.Suite() {
+		p := buildPipe(tm.Build(), 25, 4)
+		s := sched.BlockMap(p.part, 8)
+		first, err := ParallelFactorize(p.m, p.part, s)
+		if err != nil {
+			t.Fatalf("%s: %v", tm.Name, err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			got, err := ParallelFactorize(p.m, p.part, s)
+			if err != nil {
+				t.Fatalf("%s: rep %d: %v", tm.Name, rep, err)
+			}
+			for k := range first.Val {
+				if math.Float64bits(got.Val[k]) != math.Float64bits(first.Val[k]) {
+					t.Fatalf("%s: rep %d diverged at value %d: %x vs %x",
+						tm.Name, rep, k, math.Float64bits(got.Val[k]), math.Float64bits(first.Val[k]))
+				}
+			}
+		}
+	}
+}

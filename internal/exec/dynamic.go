@@ -32,6 +32,7 @@ func SimulateMakespanDynamicProbe(tasks []Task, p int, probe Probe) SimResult {
 // communication share of each task's Work (already included in it) so
 // events can split the duration; it never changes the simulated times.
 func simulateDynamic(tasks []Task, p int, comm []int64, probe Probe) SimResult {
+	mustProcs(p)
 	n := len(tasks)
 	// Bottom levels, successors and indegrees.
 	succs := make([][]int32, n)

@@ -75,6 +75,7 @@ func SimulateMakespanProbe(tasks []Task, p int, probe Probe) SimResult {
 // communication share of each task's Work (already included in it) so
 // events can split the duration; it never changes the simulated times.
 func simulateStatic(tasks []Task, p int, comm []int64, probe Probe) SimResult {
+	mustProcs(p)
 	procFree := make([]int64, p)
 	finish := make([]int64, len(tasks))
 	var total int64
@@ -134,6 +135,7 @@ func BlockTasks(part *core.Partition, s *sched.Schedule) []Task {
 // ColumnTasks builds the task graph of the wrap-mapped column algorithm:
 // one task per column, depending on every column of its row structure.
 func ColumnTasks(f *symbolic.Factor, ops *model.Ops, elemWork []int64, p int) []Task {
+	mustProcs(p)
 	owner := make([]int32, f.N)
 	for j := range owner {
 		owner[j] = int32(j % p)
@@ -223,20 +225,28 @@ func parallelFactorize(m *sparse.Matrix, part *core.Partition, s *sched.Schedule
 	execPreds := make([][]int32, len(part.Units))
 	for ui := range part.Units {
 		u := &part.Units[ui]
-		set := map[int32]struct{}{}
-		for _, pr := range u.Preds {
-			set[pr] = struct{}{}
-		}
-		for j := u.ColLo; j <= u.ColHi && j < f.N; j++ {
-			du := part.ElemUnit[f.ColPtr[j]]
-			if int(du) != ui {
-				set[du] = struct{}{}
+		// Deduplicate in insertion order (never by map iteration — the
+		// worker synchronization below must see one deterministic graph),
+		// then sort; TestParallelFactorizeDeterminism pins the bit-stability
+		// of the resulting factors across runs.
+		seen := make(map[int32]bool, len(u.Preds))
+		ep := make([]int32, 0, len(u.Preds))
+		add := func(pr int32) {
+			if !seen[pr] {
+				seen[pr] = true
+				ep = append(ep, pr)
 			}
 		}
-		for pr := range set {
-			execPreds[ui] = append(execPreds[ui], pr)
+		for _, pr := range u.Preds {
+			add(pr)
 		}
-		sort.Slice(execPreds[ui], func(a, b int) bool { return execPreds[ui][a] < execPreds[ui][b] })
+		for j := u.ColLo; j <= u.ColHi && j < f.N; j++ {
+			if du := part.ElemUnit[f.ColPtr[j]]; int(du) != ui {
+				add(du)
+			}
+		}
+		sort.Slice(ep, func(a, b int) bool { return ep[a] < ep[b] })
+		execPreds[ui] = ep
 	}
 	// Per-processor unit lists in scan (ID) order.
 	perProc := make([][]int, s.P)
@@ -319,6 +329,7 @@ func parallelFactorize(m *sparse.Matrix, part *core.Partition, s *sched.Schedule
 	var wg sync.WaitGroup
 	for p := 0; p < s.P; p++ {
 		wg.Add(1)
+		//repro:allow nondeterminism -- one worker per processor over the pred-synchronized unit graph; factors are pinned bitwise against numeric.Factorize by TestParallelFactorizeMatchesSequential and TestParallelFactorizeDeterminism under -race
 		go func(units []int) {
 			defer wg.Done()
 			for _, ui := range units {

@@ -123,11 +123,13 @@ func runFactorize2D(m *sparse.Matrix, f *symbolic.Factor, p int, tasks []Task, e
 	var t0 time.Time
 	if record {
 		events = make([][]TaskEvent, p)
+		//repro:allow nondeterminism -- t0 anchors measurement-only trace timestamps; factor values never see it (TestMeasureRealEvents checks the trace, TestParallelFactorizeBitIdentity pins the numerics)
 		t0 = time.Now()
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
+		//repro:allow nondeterminism -- one worker per processor over the 2D tile DAG; updates to a column are serialized by its dependency counter and ordered by tile id, pinned bitwise by TestParallelFactorizeBitIdentity under -race
 		go func(proc int) {
 			defer wg.Done()
 			mine := perProc[proc]

@@ -50,6 +50,7 @@ type Probe interface {
 // (P*Makespan)); work conservation guarantees TotalWork <= P*Makespan, so
 // Idle is non-negative there too.
 func finalize(p int, span, total int64) SimResult {
+	mustProcs(p)
 	res := SimResult{P: p, Makespan: span, TotalWork: total}
 	if span > 0 {
 		res.Idle = int64(p)*span - total

@@ -158,6 +158,7 @@ func runSweep(p int, perProc [][]int, reverse bool, compute func(j int), deps fu
 	for proc := 0; proc < p; proc++ {
 		cols := perProc[proc]
 		wg.Add(1)
+		//repro:allow nondeterminism -- per-processor sweep workers synchronize on the done/cond column flags; each column is computed exactly once from finished dependencies, pinned by TestParallelSolveLDLDeterministic and TestParallelSolveMatchesSequential
 		go func(cols []int) {
 			defer wg.Done()
 			order := cols

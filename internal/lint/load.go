@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader loads and type-checks packages of one module. Module-internal
+// imports resolve against the repo tree; standard-library imports resolve
+// through the compiler source importer (GOROOT source), so the loader
+// works in a zero-dependency module without export data or external
+// tooling.
+type Loader struct {
+	// RootDir is the absolute module root (the directory holding go.mod).
+	RootDir string
+	// ModulePath is the module path from go.mod ("repro").
+	ModulePath string
+	// GoVersion is the go directive from go.mod ("go1.22").
+	GoVersion string
+	Fset      *token.FileSet
+
+	std      types.Importer
+	pkgs     map[string]*Package
+	building map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at dir (the directory
+// containing go.mod; FindModuleRoot locates it from a working directory).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	l := &Loader{
+		RootDir:  root,
+		Fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*Package),
+		building: make(map[string]bool),
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			l.ModulePath = strings.TrimSpace(rest)
+		}
+		if rest, ok := strings.CutPrefix(line, "go "); ok {
+			l.GoVersion = "go" + strings.TrimSpace(rest)
+		}
+	}
+	if l.ModulePath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	return l, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load expands the package patterns ("./...", "./internal/exec",
+// "repro/internal/exec") and returns the type-checked packages, sorted by
+// import path. Test files (_test.go) are never loaded: the enforced
+// invariants target shipped code, and tests exercise nondeterminism
+// (shuffled maps, goroutines, timing) on purpose.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirSet := make(map[string]bool)
+	for _, pat := range patterns {
+		dirs, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dirs {
+			dirSet[d] = true
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// expand resolves one pattern to package directories.
+func (l *Loader) expand(pat string) ([]string, error) {
+	if p, ok := strings.CutPrefix(pat, l.ModulePath); ok && (p == "" || strings.HasPrefix(p, "/")) {
+		pat = "." + p
+	}
+	rec := false
+	if pat == "..." {
+		pat, rec = ".", true
+	} else if strings.HasSuffix(pat, "/...") {
+		pat, rec = strings.TrimSuffix(pat, "/..."), true
+	}
+	dir := filepath.Join(l.RootDir, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+	if !rec {
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		}
+		return []string{dir}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	names, err := goFileNames(dir)
+	return err == nil && len(names) > 0
+}
+
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// pathFor maps an absolute package directory to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.RootDir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.RootDir)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadPath(path, dir)
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// repo tree, "unsafe" maps to types.Unsafe, and everything else (the
+// standard library) goes through the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.loadPath(path, filepath.Join(l.RootDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.building[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.building[path] = true
+	defer delete(l.building, path)
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	var sup []*suppression
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		sup = append(sup, collectSuppressions(l.Fset, f)...)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l, GoVersion: l.GoVersion}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path: path, Name: tpkg.Name(), Dir: dir,
+		Fset: l.Fset, Files: files, Types: tpkg, Info: info,
+		suppressions: sup,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockedField enforces mutex discipline on shared state — the
+// tables.Problem race class PR 8 fixed. A field is *guarded* when it is
+// explicitly annotated `// guarded by <mu>`, or when it is an unexported
+// field declared after a sync.Mutex/RWMutex field in the same struct (the
+// Go convention "mu protects the fields below"; place constructor-set
+// immutable fields above the mutex). Package-level var groups follow the
+// same rule: unexported vars declared after a mutex var in one `var (...)`
+// block are guarded by it.
+//
+// A guarded field may only be accessed in functions that lock that mutex
+// on the same receiver path (s.mu.Lock() guards s.items, not other.items).
+// Writes under an RWMutex require the write lock. Helper functions whose
+// name ends in "Locked" are exempt by convention: they document that the
+// caller holds the mutex. The check is flow-insensitive (a Lock anywhere
+// in the function counts), so it catches missing locks, not lock-ordering
+// bugs — the race detector covers the rest.
+var LockedField = &Analyzer{
+	Name: "lockedfield",
+	Doc: "fields annotated `// guarded by mu` or declared below a struct mutex may only be " +
+		"accessed under that mutex on the same receiver; *Locked helpers are exempt",
+	Run: runLockedField,
+}
+
+type fieldGuard struct {
+	mu string // mutex field name in the same struct
+	rw bool   // mutex is a sync.RWMutex
+}
+
+func runLockedField(pass *Pass) {
+	info := pass.Pkg.Info
+	guardedFields := make(map[*types.Var]fieldGuard)
+	varGuards := make(map[*types.Var]*types.Var) // guarded var -> mutex var
+	rwVars := make(map[*types.Var]bool)
+
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					collectStructGuards(info, st, guardedFields)
+				}
+			case token.VAR:
+				collectVarGuards(info, gd, varGuards, rwVars)
+			}
+		}
+	}
+	if len(guardedFields) == 0 && len(varGuards) == 0 {
+		return
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // caller-holds-the-lock helper by convention
+			}
+			checkFuncLocks(pass, fd, guardedFields, varGuards, rwVars)
+		}
+	}
+}
+
+// collectStructGuards records the guarded fields of one struct: annotated
+// fields, and unexported fields declared after the first mutex field.
+func collectStructGuards(info *types.Info, st *ast.StructType, out map[*types.Var]fieldGuard) {
+	// First scan: every mutex field by name, and the first one's position.
+	muRWByName := make(map[string]bool)
+	muName := ""
+	for _, field := range st.Fields.List {
+		if isMu, isRW := mutexType(info.TypeOf(field.Type)); isMu {
+			for _, name := range field.Names {
+				muRWByName[name.Name] = isRW
+				if muName == "" {
+					muName = name.Name
+				}
+			}
+		}
+	}
+	// Second scan: annotated fields, and unexported fields after the first
+	// mutex.
+	seenMu := false
+	for _, field := range st.Fields.List {
+		isMu, _ := mutexType(info.TypeOf(field.Type))
+		for _, name := range field.Names {
+			if isMu {
+				if name.Name == muName {
+					seenMu = true
+				}
+				continue
+			}
+			v, ok := info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if ann := guardAnnotation(field); ann != "" {
+				out[v] = fieldGuard{mu: ann, rw: muRWByName[ann]}
+				continue
+			}
+			if seenMu && !name.IsExported() {
+				out[v] = fieldGuard{mu: muName, rw: muRWByName[muName]}
+			}
+		}
+	}
+}
+
+// collectVarGuards records guarded package vars: unexported vars declared
+// after a mutex var within the same var (...) group.
+func collectVarGuards(info *types.Info, gd *ast.GenDecl, out map[*types.Var]*types.Var, rwVars map[*types.Var]bool) {
+	var mu *types.Var
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			v, ok := info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if isMu, isRW := mutexType(v.Type()); isMu {
+				if mu == nil {
+					mu = v
+					rwVars[v] = isRW
+				}
+				continue
+			}
+			if mu != nil && !name.IsExported() {
+				out[v] = mu
+			}
+		}
+	}
+}
+
+// mutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func mutexType(t types.Type) (isMutex, isRW bool) {
+	if t == nil {
+		return false, false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch n.Obj().Name() {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// guardAnnotation extracts the mutex name from a `// guarded by <mu>`
+// field comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		text := cg.Text()
+		if i := strings.Index(text, "guarded by "); i >= 0 {
+			rest := strings.Fields(text[i+len("guarded by "):])
+			if len(rest) > 0 {
+				return strings.TrimRight(rest[0], ".,;")
+			}
+		}
+	}
+	return ""
+}
+
+func checkFuncLocks(pass *Pass, fd *ast.FuncDecl, guardedFields map[*types.Var]fieldGuard, varGuards map[*types.Var]*types.Var, rwVars map[*types.Var]bool) {
+	info := pass.Pkg.Info
+
+	// Pass 1: every lock call in the function ("s.mu.Lock", "regMu.RLock"),
+	// keyed by the printed path of the mutex expression.
+	locks := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if isMu, _ := mutexType(info.TypeOf(sel.X)); isMu {
+			locks[exprPath(sel.X)+"."+sel.Sel.Name] = true
+		}
+		return true
+	})
+
+	// Pass 2: writes (assignment targets and ++/--).
+	writes := make(map[ast.Node]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				writes[unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[unparen(x.X)] = true
+		}
+		return true
+	})
+
+	// Pass 3: guarded accesses.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			sel := info.Selections[x]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			g, ok := guardedFields[v]
+			if !ok {
+				return true
+			}
+			base := exprPath(x.X)
+			muPath := base + "." + g.mu
+			held := locks[muPath+".Lock"]
+			if !writes[x] && g.rw {
+				held = held || locks[muPath+".RLock"]
+			}
+			if !held {
+				verb := "reads"
+				if writes[x] {
+					verb = "writes"
+				}
+				pass.Reportf(x.Sel.Pos(),
+					"%s %s.%s (guarded by %s) without holding the lock; lock it, use a *Locked helper, or suppress with a reason",
+					funcName(fd)+" "+verb, base, v.Name(), muPath)
+			}
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			if !ok {
+				return true
+			}
+			mu, ok := varGuards[v]
+			if !ok {
+				return true
+			}
+			held := locks[mu.Name()+".Lock"]
+			if !writes[x] && rwVars[mu] {
+				held = held || locks[mu.Name()+".RLock"]
+			}
+			if !held {
+				verb := "reads"
+				if writes[x] {
+					verb = "writes"
+				}
+				pass.Reportf(x.Pos(),
+					"%s package var %s (guarded by %s) without holding the lock; lock it or suppress with a reason",
+					funcName(fd)+" "+verb, v.Name(), mu.Name())
+			}
+		}
+		return true
+	})
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces an in-source suppression:
+//
+//	//repro:allow maporder -- keys are sorted immediately after collection
+//
+// The analyzer list may be comma-separated; the reason after " -- " is
+// mandatory. A directive suppresses matching diagnostics on its own line
+// (trailing comment) or on the next code line (standalone comment);
+// standalone directives stack.
+const directivePrefix = "//repro:allow"
+
+type suppression struct {
+	pos       token.Pos
+	line      int
+	analyzers []string
+	reason    string
+	malformed string // non-empty when the directive itself is invalid
+	used      bool
+}
+
+// collectSuppressions scans a file's comments for //repro:allow
+// directives.
+func collectSuppressions(fset *token.FileSet, f *ast.File) []*suppression {
+	var sup []*suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+				continue // e.g. //repro:allowx — not this directive
+			}
+			s := &suppression{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			names, reason, ok := strings.Cut(rest, " -- ")
+			if !ok {
+				s.malformed = "missing \" -- <reason>\" (a suppression must say why the invariant holds)"
+			} else {
+				s.reason = strings.TrimSpace(reason)
+				if s.reason == "" {
+					s.malformed = "empty reason (a suppression must say why the invariant holds)"
+				}
+			}
+			for _, n := range strings.Split(names, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					s.analyzers = append(s.analyzers, n)
+				}
+			}
+			if len(s.analyzers) == 0 && s.malformed == "" {
+				s.malformed = "missing analyzer name"
+			}
+			sup = append(sup, s)
+		}
+	}
+	return sup
+}
+
+// applySuppressions drops raw diagnostics covered by a well-formed
+// directive, marking the directives used. A diagnostic on line L is
+// covered by a directive on line L itself (trailing comment), or by a
+// contiguous run of directive-only lines ending at L-1 (so standalone
+// directives stack above one statement).
+func applySuppressions(pkg *Package, raw []Diagnostic) []Diagnostic {
+	byLine := make(map[string]map[int][]*suppression)
+	for _, s := range pkg.suppressions {
+		file := pkg.Fset.Position(s.pos).Filename
+		if byLine[file] == nil {
+			byLine[file] = make(map[int][]*suppression)
+		}
+		byLine[file][s.line] = append(byLine[file][s.line], s)
+	}
+	var kept []Diagnostic
+	for _, d := range raw {
+		if !suppressed(byLine[d.Pos.Filename], d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func suppressed(lines map[int][]*suppression, d Diagnostic) bool {
+	if lines == nil {
+		return false
+	}
+	hit := false
+	mark := func(sups []*suppression) {
+		for _, s := range sups {
+			if s.malformed != "" {
+				continue
+			}
+			for _, name := range s.analyzers {
+				if name == d.Analyzer {
+					s.used = true
+					hit = true
+				}
+			}
+		}
+	}
+	mark(lines[d.Pos.Line])
+	for line := d.Pos.Line - 1; ; line-- {
+		sups, ok := lines[line]
+		if !ok {
+			break
+		}
+		mark(sups)
+	}
+	return hit
+}
+
+// validateDirectives reports malformed directives, unknown analyzer
+// names, and well-formed directives that suppressed nothing (checked only
+// for analyzers that actually ran).
+func validateDirectives(pkg *Package, known, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(s *suppression, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      pkg.Fset.Position(s.pos),
+			Analyzer: "allow",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, s := range pkg.suppressions {
+		if s.malformed != "" {
+			report(s, "malformed //repro:allow directive: %s", s.malformed)
+			continue
+		}
+		for _, name := range s.analyzers {
+			if !known[name] {
+				report(s, "unknown analyzer %q in //repro:allow directive", name)
+			}
+		}
+		if s.used {
+			continue
+		}
+		anyRan := false
+		for _, name := range s.analyzers {
+			if ran[name] {
+				anyRan = true
+			}
+		}
+		if anyRan {
+			report(s, "unused suppression for %s: no diagnostic on this or the next line", strings.Join(s.analyzers, ","))
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Package store is a reprolint fixture for mutex discipline: unexported
+// fields below a struct mutex (and unexported vars below a mutex in a
+// var block) may only be accessed under that mutex.
+package store
+
+import "sync"
+
+// Counter follows the "mu protects the fields below" convention.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Peek reads the guarded field without the lock: flagged.
+func (c *Counter) Peek() int {
+	return c.n // want "without holding the lock"
+}
+
+// Add locks before touching the field: clean.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// peekLocked documents that the caller holds the mutex: exempt.
+func (c *Counter) peekLocked() int { return c.n }
+
+// Gauge uses an RWMutex; writes need the write lock.
+type Gauge struct {
+	rw sync.RWMutex
+	v  int
+}
+
+// Bump writes under the read lock: flagged.
+func (g *Gauge) Bump() {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	g.v++ // want "writes g.v"
+}
+
+// Value reads under the read lock: clean.
+func (g *Gauge) Value() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]int{}
+)
+
+// Register touches the guarded package var without the lock: flagged.
+func Register(name string, v int) {
+	registry[name] = v // want "package var registry"
+}
+
+// Lookup locks first: clean.
+func Lookup(name string) (int, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	v, ok := registry[name]
+	return v, ok
+}

@@ -1,0 +1,36 @@
+// Package exec is a reprolint fixture. The package NAME places it in the
+// determinism-critical set (the analyzer keys on names, which is what
+// lets a fixture stand in for the real package), so raw map iteration
+// here must be flagged.
+package exec
+
+import "sort"
+
+// Sum iterates a map directly: flagged.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map m has nondeterministic iteration order"
+		total += v
+	}
+	return total
+}
+
+// Keys collects the keys under a suppression and sorts them: clean.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//repro:allow maporder -- key collection for the sort below; iteration order never escapes
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total ranges a slice: never flagged.
+func Total(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

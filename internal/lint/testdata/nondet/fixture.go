@@ -1,0 +1,30 @@
+// Package numeric is a reprolint fixture. The package NAME places it in
+// the bit-reproducible set, so wall-clock reads, global math/rand draws
+// and go statements are flagged.
+package numeric
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in bit-reproducible package"
+}
+
+// Noise draws from the process-wide source: flagged.
+func Noise() float64 {
+	return rand.Float64() // want "global math/rand call"
+}
+
+// Spawn starts a goroutine: flagged.
+func Spawn(f func()) {
+	go f() // want "go statement in bit-reproducible package"
+}
+
+// Seeded builds a replayable stream: clean (rand.New and rand.NewSource
+// are constructors, not draws).
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

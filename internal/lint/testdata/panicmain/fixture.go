@@ -1,0 +1,16 @@
+// Command panicmain is a reprolint fixture for the command half of the
+// panic policy: main packages face caller-controlled input and must not
+// panic at all.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		panic("missing argument") // want "panic in a main package"
+	}
+	fmt.Println(os.Args[1])
+}

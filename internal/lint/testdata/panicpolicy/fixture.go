@@ -1,0 +1,27 @@
+// Package lib is a reprolint fixture for the library half of the panic
+// policy: every panic message must identify its package with the
+// "lib: " prefix, as a string literal or a fmt.Sprintf first argument.
+package lib
+
+import "fmt"
+
+// MustPositive panics without the package prefix: flagged.
+func MustPositive(x int) {
+	if x < 1 {
+		panic("invalid value") // want "panic message must be a string"
+	}
+}
+
+// MustEven panics with a prefixed Sprintf: clean.
+func MustEven(x int) {
+	if x%2 != 0 {
+		panic(fmt.Sprintf("lib: odd value %d", x))
+	}
+}
+
+// MustSmall panics with a prefixed literal: clean.
+func MustSmall(x int) {
+	if x > 100 {
+		panic("lib: value too large")
+	}
+}

@@ -1,0 +1,50 @@
+// Package sim is a reprolint fixture for the processor-count contract:
+// exported functions taking a processor count must validate it before
+// first use.
+package sim
+
+import "fmt"
+
+// mustProcs is the conventional validator the analyzer recognizes.
+func mustProcs(p int) {
+	if p < 1 {
+		panic(fmt.Sprintf("sim: invalid processor count %d", p))
+	}
+}
+
+// Spans sizes a per-processor slice with an unvalidated count: flagged.
+func Spans(work []int64, p int) []int64 { // want "does not validate processor count"
+	out := make([]int64, p)
+	for i, w := range work {
+		out[i%p] += w
+	}
+	return out
+}
+
+// SpansChecked validates through the conventional helper: clean.
+func SpansChecked(work []int64, p int) []int64 {
+	mustProcs(p)
+	out := make([]int64, p)
+	for i, w := range work {
+		out[i%p] += w
+	}
+	return out
+}
+
+// SpansGuarded validates with an explicit comparison: clean.
+func SpansGuarded(work []int64, p int) ([]int64, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("sim: invalid processor count %d", p)
+	}
+	out := make([]int64, p)
+	for i, w := range work {
+		out[i%p] += w
+	}
+	return out, nil
+}
+
+// SpansWrapped delegates to a same-package function that validates the
+// forwarded parameter: clean.
+func SpansWrapped(work []int64, p int) []int64 {
+	return SpansChecked(work, p)
+}

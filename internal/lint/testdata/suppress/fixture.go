@@ -1,0 +1,34 @@
+// Package exec is a reprolint fixture for the //repro:allow directive
+// itself: trailing and standalone placement, a malformed directive with
+// no reason, and a well-formed directive that suppresses nothing.
+package exec
+
+// SumTrailing suppresses with a trailing directive: clean.
+func SumTrailing(m map[string]int) int {
+	t := 0
+	for _, v := range m { //repro:allow maporder -- commutative integer sum; order cannot change the total
+		t += v
+	}
+	return t
+}
+
+// SumAbove suppresses with a standalone directive on the line above:
+// clean.
+func SumAbove(m map[string]int) int {
+	t := 0
+	//repro:allow maporder -- commutative integer sum; order cannot change the total
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Nothing carries a directive with no reason: flagged as malformed.
+//
+//repro:allow maporder // want "malformed"
+func Nothing() {}
+
+// Empty carries a directive that suppresses nothing: flagged as unused.
+//
+//repro:allow maporder -- stale waiver kept after the loop was removed // want "unused suppression"
+func Empty() {}

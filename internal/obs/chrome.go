@@ -49,6 +49,9 @@ type chromeTrace struct {
 // simulation's work units (reported as microseconds, the format's native
 // unit) and are emitted in non-decreasing order.
 func WriteChromeTrace(w io.Writer, events []exec.TaskEvent, p int) error {
+	if p < 1 {
+		return fmt.Errorf("obs: invalid processor count %d", p)
+	}
 	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
 	for proc := 0; proc < p; proc++ {
 		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{

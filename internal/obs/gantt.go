@@ -20,6 +20,9 @@ import (
 // visible at the cost of exact proportionality; later segments overwrite
 // earlier ones within a cell, making the busy share the visible one.
 func Gantt(events []exec.TaskEvent, p int, makespan int64, width int) string {
+	if p < 1 {
+		return fmt.Sprintf("gantt: invalid processor count %d\n", p)
+	}
 	if width <= 0 {
 		width = 80
 	}

@@ -1,0 +1,40 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestOrderDeterminism pins the byte-for-byte stability of every ordering
+// over repeated runs in one process. The MMD supervariable merge iterates
+// a hash-bucket map whose keys are sorted before use (mmd.go); this test
+// is the regression net for that sort — if map-iteration order ever leaks
+// back into the ordering, identical calls diverge and every downstream
+// schedule and artifact key diverges with them. CI runs it with -count=2
+// to also cover per-process map-hash seed variation.
+func TestOrderDeterminism(t *testing.T) {
+	for _, tm := range gen.Suite() {
+		m := tm.Build()
+		orderings := []struct {
+			name string
+			run  func() []int
+		}{
+			{"mmd", func() []int { return MMD(m) }},
+			{"rcm", func() []int { return RCM(m) }},
+			{"nd", func() []int { return NestedDissection(m, 8) }},
+		}
+		for _, o := range orderings {
+			first := o.run()
+			for rep := 0; rep < 3; rep++ {
+				got := o.run()
+				for i := range first {
+					if got[i] != first[i] {
+						t.Fatalf("%s/%s: run %d diverged at position %d: %d vs %d",
+							tm.Name, o.name, rep, i, got[i], first[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ package order
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sparse"
 )
@@ -339,7 +340,18 @@ func (s *mmd) mergeIndistinguishable(updateList []int32, needUpdate []bool) {
 		}
 		buckets[h] = append(buckets[h], u)
 	}
-	for _, group := range buckets {
+	// Process buckets in sorted hash order: merging marks the absorbed
+	// variable dead, which changes later indistinguishability checks, so
+	// map-iteration order would leak into the ordering (and from there
+	// into every downstream schedule and artifact hash).
+	hashes := make([]uint64, 0, len(buckets))
+	//repro:allow maporder -- key collection for the sort below; iteration order never escapes
+	for h := range buckets {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(a, b int) bool { return hashes[a] < hashes[b] })
+	for _, h := range hashes {
+		group := buckets[h]
 		if len(group) < 2 {
 			continue
 		}

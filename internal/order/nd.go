@@ -198,6 +198,7 @@ func orderLeaf(m *sparse.Matrix, adj [][]int, nodes []int) []int {
 		}
 		// Eliminate best: clique its neighbours.
 		var nbrs []int
+		//repro:allow maporder -- key collection for the sort.Ints below; iteration order never escapes
 		for u := range neighbors[best] {
 			nbrs = append(nbrs, u)
 		}

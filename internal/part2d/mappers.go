@@ -55,6 +55,7 @@ func Names2D() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	names := make([]string, 0, len(registry))
+	//repro:allow maporder -- key collection for the sort.Strings below; iteration order never escapes
 	for n := range registry {
 		names = append(names, n)
 	}
@@ -62,9 +63,21 @@ func Names2D() []string {
 	return names
 }
 
+// checkProcs mirrors strategy.checkProcs for the 2D entry points: a
+// non-positive P is a caller error, reported before any mapper runs.
+func checkProcs(p int) error {
+	if p < 1 {
+		return fmt.Errorf("part2d: invalid processor count %d", p)
+	}
+	return nil
+}
+
 // Map2D runs the named 2D strategy, returning a descriptive error when
 // the name is unknown.
 func Map2D(name string, sys *strategy.Sys, p int, opts strategy.Options) (*Schedule2D, error) {
+	if err := checkProcs(p); err != nil {
+		return nil, err
+	}
 	m, ok := Lookup2D(name)
 	if !ok {
 		return nil, fmt.Errorf("part2d: unknown 2D strategy %q (registered: %s)",
@@ -325,6 +338,9 @@ type col2dMapper struct{}
 func (col2dMapper) Name() string { return "col2d" }
 
 func (col2dMapper) Map2D(sys *strategy.Sys, p int, opts strategy.Options) (*Schedule2D, error) {
+	if err := checkProcs(p); err != nil {
+		return nil, err
+	}
 	base := opts.Base
 	if base == "" {
 		base = "wrap"

@@ -222,6 +222,7 @@ func (fa *Factor) SolveBatch(bs [][]float64) ([][]float64, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//repro:allow nondeterminism -- each worker claims whole independent right-hand sides and writes only its own xs[i] slot; TestSolveBatchBitIdentical pins every solution against the serial Solve
 		go func() {
 			defer wg.Done()
 			for {

@@ -225,6 +225,7 @@ func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	names := make([]string, 0, len(registry))
+	//repro:allow maporder -- key collection for the sort.Strings below; iteration order never escapes
 	for n := range registry {
 		names = append(names, n)
 	}
@@ -235,6 +236,9 @@ func Names() []string {
 // Map runs the named strategy, returning a descriptive error when the
 // name is unknown.
 func Map(name string, sys *Sys, p int, opts Options) (*sched.Schedule, error) {
+	if err := checkProcs(p); err != nil {
+		return nil, err
+	}
 	m, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("strategy: unknown strategy %q (registered: %s)",

@@ -32,6 +32,9 @@ type RelaxRow struct {
 // ordering of the problem's matrix (postordering makes supernode parents
 // adjacent, which is what gives relaxation room to merge).
 func RelaxSweep(tm gen.TestMatrix, procs, grain int, fracs []float64) ([]RelaxRow, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("tables: invalid processor count %d", procs)
+	}
 	a := tm.Build()
 	perm := order.MMD(a)
 	perm, err := symbolic.PostOrderPerm(a, perm)
@@ -62,6 +65,7 @@ func RelaxSweep(tm gen.TestMatrix, procs, grain int, fracs []float64) ([]RelaxRo
 
 // FormatRelaxSweep renders the relaxation ablation.
 func FormatRelaxSweep(name string, procs, grain int, rows []RelaxRow) string {
+	mustProcs(procs)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Ext-D: Cluster relaxation (allowed zeros), %s postordered, P=%d, g=%d\n",
 		name, procs, grain)
@@ -131,6 +135,9 @@ type OrderRow struct {
 // OrderCompare runs the pipeline for natural, RCM, MMD, postordered MMD
 // and nested dissection orderings of one matrix.
 func OrderCompare(tm gen.TestMatrix, procs int) ([]OrderRow, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("tables: invalid processor count %d", procs)
+	}
 	a := tm.Build()
 	mmd := order.MMD(a)
 	post, err := symbolic.PostOrderPerm(a, mmd)
@@ -172,6 +179,7 @@ func OrderCompare(tm gen.TestMatrix, procs int) ([]OrderRow, error) {
 
 // FormatOrderCompare renders the ordering ablation.
 func FormatOrderCompare(name string, procs int, rows []OrderRow) string {
+	mustProcs(procs)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Ext-F: Ordering ablation, %s, P=%d (block at g=25)\n", name, procs)
 	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
@@ -311,6 +319,7 @@ type CrossoverRow struct {
 // Crossover sweeps the communication/computation cost ratio for one
 // problem and processor count.
 func Crossover(p *Problem, procs int, costs []float64) []CrossoverRow {
+	mustProcs(procs)
 	bs, br := p.Block(25, DefaultWidth, procs)
 	ws, wr := p.Wrap(procs)
 	var rows []CrossoverRow
@@ -330,6 +339,7 @@ func Crossover(p *Problem, procs int, costs []float64) []CrossoverRow {
 // begins to beat wrap (binary search over the closed-form model), or -1 if
 // it always/never wins on the probed range.
 func CrossoverPoint(p *Problem, procs int) float64 {
+	mustProcs(procs)
 	bs, br := p.Block(25, DefaultWidth, procs)
 	ws, wr := p.Wrap(procs)
 	dw := float64(bs.MaxWork() - ws.MaxWork())       // block's balance penalty
@@ -345,6 +355,7 @@ func CrossoverPoint(p *Problem, procs int) float64 {
 
 // FormatCrossover renders the machine-parameter study.
 func FormatCrossover(name string, procs int, rows []CrossoverRow, point float64) string {
+	mustProcs(procs)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Ext-I: Block-vs-wrap crossover, %s, P=%d (T = Wmax + c*maxTraffic)\n", name, procs)
 	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
@@ -417,6 +428,7 @@ type CommMakespanRow struct {
 // CommMakespan sweeps the per-element communication cost and simulates
 // dynamic execution with communication-inflated task durations.
 func CommMakespan(p *Problem, procs int, costs []float64) []CommMakespanRow {
+	mustProcs(procs)
 	part := p.Part(25, DefaultWidth)
 	bs := sched.BlockMap(part, procs)
 	bVol := traffic.FetchVolumes(part, p.Ops, bs)
@@ -454,6 +466,7 @@ func inflate(tasks []exec.Task, vol []int64, c float64) []exec.Task {
 
 // FormatCommMakespan renders the communication-aware makespan study.
 func FormatCommMakespan(name string, procs int, rows []CommMakespanRow) string {
+	mustProcs(procs)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Ext-L: Communication-aware makespan (dynamic exec), %s, P=%d, g=25\n", name, procs)
 	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)

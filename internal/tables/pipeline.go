@@ -37,6 +37,7 @@ func PipelineRecord(p *Problem, strategyName string, np, solves int) (obs.BenchR
 		return obs.BenchRecord{}, err
 	}
 	var hits, misses int64
+	//repro:allow maporder -- commutative integer sums over the per-kind counters; order cannot change the totals
 	for _, c := range pb.Stats {
 		hits += c.Hits
 		misses += c.Misses
@@ -60,6 +61,9 @@ func PipelineRecord(p *Problem, strategyName string, np, solves int) (obs.BenchR
 // RunPipelineBench times one cold staged request against repeated warm
 // requests on the same pattern and values, through one shared cache.
 func RunPipelineBench(p *Problem, strategyName string, np, solves int) (*PipelineBench, error) {
+	if np < 1 {
+		return nil, fmt.Errorf("tables: invalid processor count %d", np)
+	}
 	if solves < 1 {
 		solves = 1
 	}
@@ -70,6 +74,7 @@ func RunPipelineBench(p *Problem, strategyName string, np, solves int) (*Pipelin
 	}
 	opts := strategy.Options{}
 
+	//repro:allow nondeterminism -- benchmark harness: wall-clock feeds only the reported cold/warm timings; the solved vectors are cache artifacts pinned by TestCacheServesIdenticalArtifacts
 	start := time.Now()
 	if _, err := cache.Solve(p.A, strategyName, np, opts, pipeline.Cholesky, b); err != nil {
 		return nil, fmt.Errorf("tables: pipeline cold solve on %s: %w", p.Meta.Name, err)
@@ -78,6 +83,7 @@ func RunPipelineBench(p *Problem, strategyName string, np, solves int) (*Pipelin
 
 	warmNs := int64(0)
 	for i := 0; i < solves; i++ {
+		//repro:allow nondeterminism -- benchmark harness: warm-request timing only, never simulated results
 		start = time.Now()
 		if _, err := cache.Solve(p.A, strategyName, np, opts, pipeline.Cholesky, b); err != nil {
 			return nil, fmt.Errorf("tables: pipeline warm solve on %s: %w", p.Meta.Name, err)

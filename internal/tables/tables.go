@@ -89,14 +89,26 @@ func (p *Problem) Part(g, w int) *core.Partition {
 	return p.An.Sys().Partition(core.Options{Grain: g, MinClusterWidth: w})
 }
 
+// mustProcs panics on a non-positive processor count with the package
+// prefix. The table builders take caller-chosen P values straight from
+// CLI flags; validating here keeps the failure at the entry point rather
+// than a zero-length per-processor slice deep in a simulator.
+func mustProcs(procs int) {
+	if procs < 1 {
+		panic(fmt.Sprintf("tables: invalid processor count %d", procs))
+	}
+}
+
 // Block runs the block mapping and its traffic simulation.
 func (p *Problem) Block(g, w, procs int) (*sched.Schedule, *traffic.Result) {
+	mustProcs(procs)
 	s := sched.BlockMap(p.Part(g, w), procs)
 	return s, traffic.Simulate(p.Ops, s)
 }
 
 // Wrap runs the wrap mapping and its traffic simulation.
 func (p *Problem) Wrap(procs int) (*sched.Schedule, *traffic.Result) {
+	mustProcs(procs)
 	s := sched.WrapMap(p.F, p.ElemWork, procs)
 	return s, traffic.Simulate(p.Ops, s)
 }
@@ -439,6 +451,7 @@ type GrainRow struct {
 // GrainSweep traces the communication / load-balance trade-off curve
 // underlying Tables 2-3, for one matrix and processor count.
 func GrainSweep(p *Problem, procs int, grains []int) []GrainRow {
+	mustProcs(procs)
 	var rows []GrainRow
 	for _, g := range grains {
 		s, r := p.Block(g, DefaultWidth, procs)
@@ -452,6 +465,7 @@ func GrainSweep(p *Problem, procs int, grains []int) []GrainRow {
 
 // FormatGrainSweep renders the ablation curve.
 func FormatGrainSweep(name string, procs int, rows []GrainRow) string {
+	mustProcs(procs)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Ext-C: Grain sweep, %s, P=%d (communication vs load balance)\n", name, procs)
 	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)

@@ -1,5 +1,7 @@
 package traffic
 
+import "fmt"
+
 // FetchDedup tracks distinct (element, processor) first fetches — the
 // deduplication rule of the paper's caching model ("once a data element
 // is fetched, that element is stored locally"), shared by every traffic
@@ -15,6 +17,9 @@ type FetchDedup struct {
 // NewFetchDedup sizes the tracker for a factor with nnz elements
 // scheduled on p processors.
 func NewFetchDedup(p, nnz int) *FetchDedup {
+	if p < 1 {
+		panic(fmt.Sprintf("traffic: invalid processor count %d", p))
+	}
 	if p > 64 {
 		return &FetchDedup{wide: make(map[int64]struct{})}
 	}

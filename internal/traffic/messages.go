@@ -58,6 +58,7 @@ func consolidate(ops *model.Ops, s *sched.Schedule, groupOf func(elem int32) int
 		access(diag, s.ElemProc[tgt])
 	})
 	st := &MessageStats{P: s.P, PerProc: make([]int64, s.P)}
+	//repro:allow maporder -- commutative counts, sums and max over consolidated messages; order cannot change any statistic
 	for k, sz := range sizes {
 		st.Messages++
 		st.Elements += sz
