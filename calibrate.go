@@ -1,0 +1,69 @@
+package repro
+
+// Calibration surface: fit the communication-time model (including the
+// per-task fixed-overhead Gamma) to the measured task durations the real
+// parallel engine emits, so the makespan simulators predict wall clock
+// instead of abstract work units. See internal/calib for the fit.
+
+import (
+	"repro/internal/calib"
+	"repro/internal/obs"
+	"repro/internal/part2d"
+)
+
+// CalibratedModel is a fitted cost model: the work-unit CommModel (with
+// Gamma) the simulators consume unchanged, the nanosecond-per-work-unit
+// scale that converts simulated spans into predicted wall clock, and
+// optional per-processor speed multipliers.
+type CalibratedModel = calib.CalibratedModel
+
+// FitReport carries the fit diagnostics: sample and dropped-event
+// accounting, R², residual percentiles and the power-of-two residual
+// histogram.
+type FitReport = calib.FitReport
+
+// CalibSample is one measured task execution in a calibration fit.
+type CalibSample = calib.Sample
+
+// FitOptions configures Fitter.Fit (per-processor speed multipliers).
+type FitOptions = calib.Options
+
+// Fitter accumulates measured runs across processor counts and mappers
+// into one least-squares fit.
+type Fitter = calib.Fitter
+
+// CalibSummary is the fit block of kind "calibrate" ledger records.
+type CalibSummary = obs.CalibSummary
+
+// NewFitter returns an empty calibration fitter.
+func NewFitter() *Fitter { return calib.NewFitter() }
+
+// Calibrate fits {Alpha, Beta, Gamma} and the nanosecond scale to one
+// measured run: events are MeasureFactorize2D's per-task TaskEvents,
+// tasks the executed graph and tc its fetch attribution (both from
+// Tasks2D; tc may be nil to charge no communication). Fit across several
+// runs with a Fitter when calibrating over processor counts or mappers.
+func Calibrate(events []TraceEvent, tasks []Task, tc *TaskComm) (CalibratedModel, FitReport, error) {
+	return calib.Calibrate(events, tasks, tc)
+}
+
+// Tasks2D returns the merged tile-segment task graph of a 2D schedule
+// and its per-task fetch attribution — the inputs Calibrate pairs with
+// MeasureFactorize2D's measured events.
+func (s *System) Tasks2D(sc *Schedule2D) ([]Task, *TaskComm) {
+	tasks, elemTask := part2d.Tasks(s.an.Ops, s.an.ElemWork, sc)
+	return tasks, part2d.FetchStats(s.an.Ops, sc, len(tasks), elemTask)
+}
+
+// CalibrateFactorize2D measures one real run of sc's task graph
+// (repeat-and-min, bit-identity verified) and fits the homogeneous cost
+// model to its per-task durations.
+func (s *System) CalibrateFactorize2D(sc *Schedule2D, opts MeasureOptions) (*Measurement, CalibratedModel, FitReport, error) {
+	mes, err := s.MeasureFactorize2D(sc, opts)
+	if err != nil {
+		return nil, CalibratedModel{}, FitReport{}, err
+	}
+	tasks, tc := s.Tasks2D(sc)
+	model, report, err := Calibrate(mes.Events, tasks, tc)
+	return mes, model, report, err
+}

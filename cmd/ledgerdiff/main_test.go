@@ -1,0 +1,161 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// ledgerBytes serializes records into a ledger file image.
+func ledgerBytes(t *testing.T, recs ...obs.BenchRecord) []byte {
+	t.Helper()
+	l := obs.NewLedger()
+	for _, r := range recs {
+		l.Add(r)
+	}
+	var sb strings.Builder
+	if err := l.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return []byte(sb.String())
+}
+
+func rec(kind string, p int, makespan, traffic, measured int64) obs.BenchRecord {
+	return obs.BenchRecord{
+		Matrix: "LAP30", Strategy: "rect2dcyclic", Kind: kind, P: p,
+		Alpha: 2, Beta: 10, Makespan: makespan, Traffic: traffic,
+		Efficiency: 0.5, MeasuredNs: measured,
+	}
+}
+
+// TestDiffGolden pins the report: identical ledgers are silent apart
+// from the summary, a drifted gated metric prints the full delta line
+// with the EXCEEDS mark, and measured_ns drift alone is reported but
+// never gated.
+func TestDiffGolden(t *testing.T) {
+	gated := map[string]bool{"tile2d": true}
+	base := ledgerBytes(t, rec("tile2d", 4, 1000, 50, 700))
+
+	var sb strings.Builder
+	exceed, err := run(base, base, 0, gated, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exceed != 0 {
+		t.Errorf("identical ledgers: exceed = %d", exceed)
+	}
+	if got, want := sb.String(), "ledgerdiff: 1 keys compared, 0 drifted, 0 exceed tolerance 0\n"; got != want {
+		t.Errorf("identical ledgers report:\n got %q\nwant %q", got, want)
+	}
+
+	sb.Reset()
+	cur := ledgerBytes(t, rec("tile2d", 4, 1100, 50, 900))
+	exceed, err = run(base, cur, 0, gated, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exceed != 1 {
+		t.Errorf("10%% makespan drift at tolerance 0: exceed = %d, want 1", exceed)
+	}
+	want := "LAP30/tile2d/rect2dcyclic/P=4: makespan 1000 -> 1100 (10.00%), traffic 50 -> 50 (0.00%), measured_ns 700 -> 900 (not gated) EXCEEDS\n" +
+		"ledgerdiff: 1 keys compared, 1 drifted, 1 exceed tolerance 0\n"
+	if sb.String() != want {
+		t.Errorf("drift report:\n got %q\nwant %q", sb.String(), want)
+	}
+
+	// Wall clock alone drifts: reported, never an exceedance.
+	sb.Reset()
+	cur = ledgerBytes(t, rec("tile2d", 4, 1000, 50, 90000))
+	exceed, err = run(base, cur, 0, gated, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exceed != 0 {
+		t.Errorf("measured_ns-only drift gated: exceed = %d\n%s", exceed, sb.String())
+	}
+	if !strings.Contains(sb.String(), "measured_ns 700 -> 90000") {
+		t.Errorf("measured_ns drift unreported:\n%s", sb.String())
+	}
+}
+
+// TestDiffTolerance pins the regression gate arithmetic: a 10% drift
+// passes a 0.2 tolerance and fails a 0.05 one, ungated kinds never trip
+// it, and a gated key missing from the current ledger counts.
+func TestDiffTolerance(t *testing.T) {
+	gated := map[string]bool{"tile2d": true}
+	base := ledgerBytes(t, rec("tile2d", 4, 1000, 50, 700))
+	cur := ledgerBytes(t, rec("tile2d", 4, 1100, 50, 700))
+
+	var sb strings.Builder
+	exceed, err := run(base, cur, 0.2, gated, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exceed != 0 {
+		t.Errorf("10%% drift at tolerance 0.2: exceed = %d\n%s", exceed, sb.String())
+	}
+	sb.Reset()
+	exceed, err = run(base, cur, 0.05, gated, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exceed != 1 {
+		t.Errorf("10%% drift at tolerance 0.05: exceed = %d, want 1", exceed)
+	}
+
+	// The same drift on an ungated kind (calibrate's fitted spans are
+	// machine-dependent) never exceeds.
+	sb.Reset()
+	exceed, err = run(ledgerBytes(t, rec("calibrate", 4, 1000, 50, 700)),
+		ledgerBytes(t, rec("calibrate", 4, 2000, 50, 700)), 0, gated, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exceed != 0 {
+		t.Errorf("ungated kind tripped the gate: exceed = %d\n%s", exceed, sb.String())
+	}
+
+	// A gated key vanishing from the current ledger is a regression.
+	sb.Reset()
+	exceed, err = run(base, ledgerBytes(t), 0.2, gated, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exceed != 1 || !strings.Contains(sb.String(), "missing from current ledger EXCEEDS") {
+		t.Errorf("missing gated key: exceed = %d\n%s", exceed, sb.String())
+	}
+}
+
+// TestValidateTolerance pins the fail-fast -tolerance gate.
+func TestValidateTolerance(t *testing.T) {
+	for _, bad := range []float64{-0.1, -1} {
+		if err := validateTolerance(bad); err == nil || !strings.Contains(err.Error(), "-tolerance") {
+			t.Errorf("validateTolerance(%g) = %v, want named rejection", bad, err)
+		}
+	}
+	for _, ok := range []float64{0, 0.05, 1} {
+		if err := validateTolerance(ok); err != nil {
+			t.Errorf("validateTolerance(%g) = %v, want nil", ok, err)
+		}
+	}
+}
+
+// TestParseKinds pins the -kinds parser: lists split into a set, empty
+// entries are rejected, and the empty string gates nothing.
+func TestParseKinds(t *testing.T) {
+	gated, err := parseKinds("strategy, tile2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gated["strategy"] || !gated["tile2d"] || len(gated) != 2 {
+		t.Errorf("parseKinds set = %v", gated)
+	}
+	if _, err := parseKinds("strategy,,tile2d"); err == nil {
+		t.Error("empty entry accepted")
+	}
+	gated, err = parseKinds("")
+	if err != nil || len(gated) != 0 {
+		t.Errorf("parseKinds(\"\") = %v, %v", gated, err)
+	}
+}

@@ -8,13 +8,18 @@
 // With -measure it additionally runs the real parallel 2D engine
 // (bit-identity verified against the serial factor) and prints measured
 // wall-clock speedups next to the comm-aware predictions; the rows join
-// the ledger as kind "measure".
+// the ledger as kind "measure". With -calibrate it fits {Alpha, Beta,
+// Gamma} and the nanosecond scale to the measured per-task durations and
+// prints the Ext-Cal table (measured vs uncalibrated vs calibrated
+// prediction with MAPE columns); the rows join the ledger as kind
+// "calibrate".
 //
 // Usage:
 //
 //	paperbench [-table 1|2|3|4|5|...|all|none]
 //	paperbench -table none -ledger BENCH_pr.json -matrix LAP30
 //	paperbench -table none -measure -repeats 2 -matrix LAP30 -ledger BENCH_measure.json
+//	paperbench -table none -calibrate -repeats 2 -matrix LAP30 -ledger BENCH_calib.json
 //	paperbench -table none -trace trace.json -tracestrategy rect2dcyclic -traceprocs 64
 //	paperbench -checkledger BENCH_pr.json
 package main
@@ -48,15 +53,16 @@ func main() {
 	traceStrategy := flag.String("tracestrategy", "wrap", "strategy of the traced run: a 1D strategy, a native 2D mapper, or col2d:<base>")
 	traceProcs := flag.Int("traceprocs", 16, "processor count of the traced run")
 	measure := flag.Bool("measure", false, "run the real parallel engine on every 2D strategy (-matrix or LAP30) and print measured vs predicted speedups; with -ledger the rows join the ledger as kind \"measure\"")
-	repeats := flag.Int("repeats", 3, "repeat-and-min count for -measure timings")
+	calibrate := flag.Bool("calibrate", false, "measure every 2D strategy (-matrix or LAP30), fit the cost model to the per-task durations, and print the Ext-Cal calibration table; with -ledger the rows join the ledger as kind \"calibrate\"")
+	repeats := flag.Int("repeats", 3, "repeat-and-min count for -measure and -calibrate timings")
 	flag.Parse()
 	// !(x >= 0) also rejects NaN, which a plain x < 0 lets through.
 	if !(*alpha >= 0) || !(*beta >= 0) || math.IsInf(*alpha, 0) || math.IsInf(*beta, 0) {
 		log.Fatalf("invalid comm model: alpha=%g beta=%g (both must be finite and >= 0)", *alpha, *beta)
 	}
 	cm := exec.CommModel{Alpha: *alpha, Beta: *beta}
-	if *measure && *repeats < 1 {
-		log.Fatalf("invalid -repeats %d (want >= 1)", *repeats)
+	if err := validateRepeats(*repeats); err != nil {
+		log.Fatal(err)
 	}
 
 	if *checkLedger != "" {
@@ -228,22 +234,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	var measured []tables.MeasureRow
-	if *measure {
-		mp := lap
-		if *matrix != "" {
-			for _, p := range ps {
-				if p.Meta.Name == *matrix {
-					mp = p
-				}
+	mp := lap
+	if *matrix != "" {
+		for _, p := range ps {
+			if p.Meta.Name == *matrix {
+				mp = p
 			}
 		}
+	}
+	var measured []tables.MeasureRow
+	if *measure {
 		rows, err := tables.Measured(mp, tables.MeasureProcs, cm, *repeats)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(tables.FormatMeasured(mp.Meta.Name, cm, rows))
 		measured = rows
+	}
+	var calStudy *tables.CalibrationStudy
+	if *calibrate {
+		st, err := tables.Calibration(mp, tables.MeasureProcs, cm, *repeats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tables.FormatCalibration(mp.Meta.Name, cm, st))
+		calStudy = st
 	}
 
 	if ledgerFile != nil {
@@ -261,6 +276,9 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, rec := range tables.MeasureRecords(measured, cm) {
+			ledger.Add(rec)
+		}
+		for _, rec := range tables.CalibrationRecords(calStudy) {
 			ledger.Add(rec)
 		}
 		// One staged-pipeline row per benched matrix: a cold request
@@ -294,6 +312,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *tracePath)
 	}
+}
+
+// validateRepeats rejects a repeat-and-min count the measurement harness
+// cannot honour. Checked unconditionally at startup so a bad -repeats
+// fails before any table work, even when -measure/-calibrate are off.
+func validateRepeats(r int) error {
+	if r < 1 {
+		return fmt.Errorf("invalid -repeats %d (want >= 1)", r)
+	}
+	return nil
 }
 
 // validTraceStrategy accepts any registered 1D strategy, any native 2D

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateRepeats pins the fail-fast -repeats gate: zero and negative
+// counts are rejected with the offending value in the message, valid
+// counts pass. The check runs unconditionally at startup, so a bad
+// -repeats dies before any table work even without -measure/-calibrate.
+func TestValidateRepeats(t *testing.T) {
+	for _, r := range []int{0, -1, -100} {
+		err := validateRepeats(r)
+		if err == nil {
+			t.Errorf("validateRepeats(%d) accepted", r)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-repeats") {
+			t.Errorf("validateRepeats(%d) error %q does not name the flag", r, err)
+		}
+	}
+	for _, r := range []int{1, 2, 100} {
+		if err := validateRepeats(r); err != nil {
+			t.Errorf("validateRepeats(%d) = %v, want nil", r, err)
+		}
+	}
+}

@@ -15,6 +15,7 @@
 //	sweep -kind tile2d   -matrix LAP30 -alpha 2 -beta 10 > tile2d.csv
 //	sweep -kind tile2d   -strategy col2d:rectilinear -matrix LAP30
 //	sweep -kind measure  -matrix LAP30 -repeats 3 > measure.csv
+//	sweep -kind calibrate -matrix LAP30 -repeats 3 > calibrate.csv
 //	sweep -kind all      -out data/         # every series for every matrix
 //	sweep -kind strategy -matrix LAP30 -ledger BENCH_lap30.json
 //	sweep -kind tile2d   -strategy rect2dcyclic -procs 64 -trace trace.json
@@ -47,7 +48,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		kind   = flag.String("kind", "procs", "series: procs, grain, width, strategy, comm, tile2d, measure, or all")
+		kind   = flag.String("kind", "procs", "series: procs, grain, width, strategy, comm, tile2d, measure, calibrate, or all")
 		matrix = flag.String("matrix", "LAP30", "test matrix name")
 		procs  = flag.Int("procs", 16, "processors (grain, width and strategy sweeps)")
 		grain  = flag.Int("grain", 25, "grain size (procs, width and strategy sweeps)")
@@ -70,13 +71,13 @@ func main() {
 	if !(*beta2 >= 0) || math.IsInf(*beta2, 0) {
 		log.Fatalf("invalid -beta2 %g (must be finite and >= 0)", *beta2)
 	}
-	if *kind == "tile2d" || *kind == "measure" {
+	if *kind == "tile2d" || *kind == "measure" || *kind == "calibrate" {
 		validateChoice("2D strategy", *strat, tile2dChoices())
 	} else {
 		validateChoice("strategy", *strat, repro.Strategies())
 	}
-	if *kind == "measure" && *reps < 1 {
-		log.Fatalf("invalid -repeats %d (want >= 1)", *reps)
+	if err := validateRepeats(*kind, *reps); err != nil {
+		log.Fatal(err)
 	}
 	validateChoice("refine objective", *obj, repro.RefineObjectives())
 	cm := repro.CommModel{Alpha: *alpha, Beta: *beta}
@@ -206,6 +207,16 @@ func (c *capture) active(name string, p int) bool {
 		return false
 	}
 	return c.ledger != nil || (c.traceW != nil && name == c.traceStrategy && p == c.traceProcs)
+}
+
+// validateRepeats rejects a repeat-and-min count the measurement kinds
+// cannot honour, before any sweep work starts. Kinds that never time a
+// real run ignore -repeats and accept anything.
+func validateRepeats(kind string, reps int) error {
+	if (kind == "measure" || kind == "calibrate") && reps < 1 {
+		return fmt.Errorf("invalid -repeats %d for -kind %s (want >= 1)", reps, kind)
+	}
+	return nil
 }
 
 // validateChoice fails fast (before any sweep work) when a flag value is
@@ -441,10 +452,83 @@ func writeSeries(out io.Writer, kind, matrix string, procs, grain int, strat, ob
 				}
 			}
 		}
+	case "calibrate":
+		// Pass 1: measure every 2D strategy across the processor sweep and
+		// pool the per-task durations into one least-squares fit of
+		// {Alpha, Beta, Gamma} plus the nanosecond scale. Pass 2: score the
+		// uncalibrated and calibrated speedup predictions per row.
+		if err := row("strategy", "procs", "serial_ns", "parallel_ns", "measured_speedup",
+			"uncal_speedup", "cal_speedup", "uncal_ape", "cal_ape",
+			"alpha", "beta", "gamma", "ns_per_work", "r2"); err != nil {
+			return err
+		}
+		type calPoint struct {
+			choice string
+			p      int
+			s2     *repro.Schedule2D
+			mes    *repro.Measurement
+		}
+		fitter := repro.NewFitter()
+		var points []calPoint
+		for _, choice := range tile2dChoices() {
+			if strat != "" && choice != strat {
+				continue
+			}
+			name, opts := choice, repro.StrategyOptions{}
+			if base, ok := strings.CutPrefix(choice, "col2d:"); ok {
+				name, opts.Base = "col2d", base
+			}
+			for _, p := range measureSweep {
+				s2, err := sys.MapStrategy2D(name, p, opts)
+				if err != nil {
+					return err
+				}
+				mes, err := sys.MeasureFactorize2D(s2, repro.MeasureOptions{Repeats: reps})
+				if err != nil {
+					return err
+				}
+				tasks, tc := sys.Tasks2D(s2)
+				if err := fitter.Add(mes.Events, tasks, tc); err != nil {
+					return err
+				}
+				points = append(points, calPoint{choice, p, s2, mes})
+			}
+		}
+		model, report, err := fitter.Fit(repro.FitOptions{})
+		if err != nil {
+			return err
+		}
+		for _, pt := range points {
+			uncal := sys.Makespan2DComm(pt.s2, cm).Makespan
+			cal := sys.Makespan2DComm(pt.s2, model.Comm).Makespan
+			uncalSpeedup := float64(sys.TotalWork()) / float64(max(uncal, 1))
+			calNs := math.Max(model.SpanNs(cal), 1)
+			calSpeedup := float64(pt.mes.SerialNs) / calNs
+			if err := row(pt.choice, strconv.Itoa(pt.p),
+				fmt.Sprint(pt.mes.SerialNs), fmt.Sprint(pt.mes.ParallelNs),
+				fmt.Sprintf("%.4f", pt.mes.Speedup),
+				fmt.Sprintf("%.4f", uncalSpeedup), fmt.Sprintf("%.4f", calSpeedup),
+				fmt.Sprintf("%.2f", ape(uncalSpeedup, pt.mes.Speedup)),
+				fmt.Sprintf("%.2f", ape(calSpeedup, pt.mes.Speedup)),
+				fmt.Sprintf("%.6g", model.Comm.Alpha), fmt.Sprintf("%.6g", model.Comm.Beta),
+				fmt.Sprintf("%.6g", model.Comm.Gamma), fmt.Sprintf("%.6g", model.NsPerWork),
+				fmt.Sprintf("%.4f", report.R2)); err != nil {
+				return err
+			}
+		}
 	default:
 		return fmt.Errorf("unknown series kind %q", kind)
 	}
 	return nil
+}
+
+// ape is the absolute percentage error of a predicted speedup against
+// the measured one (percent).
+func ape(pred, measured float64) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return 100 * math.Abs(pred-measured) / measured
 }
 
 // tile2dChoices enumerates the tile2d sweep's strategy axis: every native

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateRepeats pins the fail-fast -repeats gate: the measurement
+// kinds reject zero and negative counts with the kind and value in the
+// message, while purely simulated kinds ignore the flag entirely.
+func TestValidateRepeats(t *testing.T) {
+	for _, kind := range []string{"measure", "calibrate"} {
+		for _, reps := range []int{0, -1, -7} {
+			err := validateRepeats(kind, reps)
+			if err == nil {
+				t.Errorf("validateRepeats(%q, %d) accepted", kind, reps)
+				continue
+			}
+			if !strings.Contains(err.Error(), kind) || !strings.Contains(err.Error(), "-repeats") {
+				t.Errorf("validateRepeats(%q, %d) error %q does not name the kind and flag", kind, reps, err)
+			}
+		}
+		if err := validateRepeats(kind, 1); err != nil {
+			t.Errorf("validateRepeats(%q, 1) = %v, want nil", kind, err)
+		}
+	}
+	for _, kind := range []string{"procs", "grain", "strategy", "tile2d"} {
+		if err := validateRepeats(kind, 0); err != nil {
+			t.Errorf("validateRepeats(%q, 0) = %v, want nil (kind never times a run)", kind, err)
+		}
+	}
+}

@@ -51,6 +51,7 @@ var detCritical = map[string]bool{
 	"pipeline": true,
 	"artifact": true,
 	"tables":   true,
+	"calib":    true,
 }
 
 // exprPath renders a selector/ident chain ("s", "s.inner") for comparing

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// TestRealProfileDegenerateCount checks that zero-duration measured
+// events are counted and reported instead of silently contributing
+// nothing, while normal events leave the count at zero.
+func TestRealProfileDegenerateCount(t *testing.T) {
+	events := []exec.TaskEvent{
+		{Task: 0, Proc: 0, Start: 0, Finish: 10, Work: 10},
+		{Task: 1, Proc: 0, Start: 10, Finish: 10}, // clock swallowed it
+		{Task: 2, Proc: 1, Start: 5, Finish: 5},   // and this one
+		{Task: 3, Proc: 1, Start: 5, Finish: 9, Work: 4},
+	}
+	prof, err := RealProfile(events, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Degenerate != 2 {
+		t.Errorf("Degenerate = %d, want 2", prof.Degenerate)
+	}
+	if prof.Procs[0].Tasks != 2 || prof.Procs[1].Tasks != 2 {
+		t.Errorf("degenerate events must still count as tasks: %+v", prof.Procs)
+	}
+	if got := prof.Summary().Degenerate; got != 2 {
+		t.Errorf("Summary().Degenerate = %d, want 2", got)
+	}
+	if out := FormatProfile(prof); !strings.Contains(out, "degenerate events: 2") {
+		t.Errorf("FormatProfile does not report the degenerate count:\n%s", out)
+	}
+	clean, err := RealProfile(events[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Degenerate != 0 {
+		t.Errorf("Degenerate = %d on a clean run, want 0", clean.Degenerate)
+	}
+	if out := FormatProfile(clean); strings.Contains(out, "degenerate") {
+		t.Errorf("FormatProfile mentions degenerate events on a clean run:\n%s", out)
+	}
+}
+
+// calibRecord returns a fully-populated kind "calibrate" record.
+func calibRecord() BenchRecord {
+	return BenchRecord{
+		Matrix: "LAP30", Strategy: "rect2dcyclic", Kind: "calibrate", P: 4,
+		Alpha: 0.1, Beta: 0.2, Makespan: 1000, Traffic: 50, Efficiency: 0.5,
+		SerialNs: 100000, MeasuredNs: 50000, MeasuredSpeedup: 2, PredSpeedup: 2.1,
+		Calib: &CalibSummary{
+			Gamma: 0, NsPerWork: 3.5, R2: 0.97, Samples: 900, Dropped: 3,
+			CalibNs: 48000, MAPEUncal: 90, MAPECal: 12,
+		},
+	}
+}
+
+// TestValidateLedgerCalibrate checks the calibrate-kind gate: a complete
+// record passes, a record without its calib block fails, and a calib
+// block missing a key fails naming it. A zero Gamma must survive — the
+// block's keys never omitempty away.
+func TestValidateLedgerCalibrate(t *testing.T) {
+	l := NewLedger()
+	l.Add(calibRecord())
+	var sb strings.Builder
+	if err := l.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateLedger([]byte(sb.String())); err != nil {
+		t.Fatalf("complete calibrate record rejected: %v", err)
+	}
+	if !strings.Contains(sb.String(), `"gamma": 0`) {
+		t.Errorf("zero Gamma omitted from the serialized calib block:\n%s", sb.String())
+	}
+
+	noBlock := calibRecord()
+	noBlock.Calib = nil
+	l2 := NewLedger()
+	l2.Add(noBlock)
+	sb.Reset()
+	if err := l2.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	err := ValidateLedger([]byte(sb.String()))
+	if err == nil || !strings.Contains(err.Error(), "calib") {
+		t.Errorf("calibrate record without calib block: err = %v, want missing calib", err)
+	}
+
+	// Strip one key inside the block: the validator must name it.
+	var sb3 strings.Builder
+	l3 := NewLedger()
+	l3.Add(calibRecord())
+	if err := l3.Write(&sb3); err != nil {
+		t.Fatal(err)
+	}
+	broken := strings.Replace(sb3.String(), `"mape_calibrated"`, `"mape_renamed"`, 1)
+	err = ValidateLedger([]byte(broken))
+	if err == nil || !strings.Contains(err.Error(), "calib.mape_calibrated") {
+		t.Errorf("calib block missing mape_calibrated: err = %v", err)
+	}
+}

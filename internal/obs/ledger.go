@@ -22,6 +22,9 @@ type ProfileSummary struct {
 	CriticalLen  int   `json:"critical_len"`
 	CriticalWork int64 `json:"critical_work"`
 	CriticalComm int64 `json:"critical_comm"`
+	// Degenerate counts zero-duration measured events (clock resolution),
+	// nonzero only on real-run profiles.
+	Degenerate int `json:"degenerate,omitempty"`
 }
 
 // Summary collapses a Profile into its ledger form.
@@ -34,7 +37,25 @@ func (p *Profile) Summary() ProfileSummary {
 		CriticalLen:  len(p.Critical),
 		CriticalWork: p.CriticalWork(),
 		CriticalComm: p.CriticalComm(),
+		Degenerate:   p.Degenerate,
 	}
+}
+
+// CalibSummary is the fit block every kind "calibrate" record carries:
+// the fitted cost-model parameters (Alpha and Beta live in the record's
+// own fields), the fit diagnostics, and the row's calibrated wall-clock
+// prediction next to the speedup MAPE of the whole study. None of its
+// fields are omitempty — ValidateLedger insists on the block's keys, and
+// a legitimately zero Gamma must still serialize.
+type CalibSummary struct {
+	Gamma     float64 `json:"gamma"`       // fitted per-task overhead, work units
+	NsPerWork float64 `json:"ns_per_work"` // fitted serial rate, ns per work unit
+	R2        float64 `json:"r2"`
+	Samples   int     `json:"samples"`
+	Dropped   int     `json:"dropped"`       // zero-/negative-duration events excluded
+	CalibNs   int64   `json:"calibrated_ns"` // this row's calibrated span prediction, ns
+	MAPEUncal float64 `json:"mape_uncalibrated"`
+	MAPECal   float64 `json:"mape_calibrated"`
 }
 
 // BenchRecord is one benchmarked run in the ledger: a (matrix, strategy,
@@ -66,6 +87,11 @@ type BenchRecord struct {
 	// accumulated across the benchmarked request sequence.
 	Hits   int64 `json:"hits,omitempty"`
 	Misses int64 `json:"misses,omitempty"`
+	// Calib is the fit block of Kind "calibrate" records: the record's
+	// Alpha/Beta/Makespan then describe the *fitted* model and its
+	// calibrated span, and Calib carries Gamma, the nanosecond scale, the
+	// fit diagnostics and the study's MAPE columns.
+	Calib *CalibSummary `json:"calib,omitempty"`
 }
 
 // Ledger is the machine-readable bench output, written as BENCH_*.json:
@@ -110,6 +136,20 @@ var pipelineRequiredKeys = []string{
 	"serial_ns", "measured_ns", "measured_speedup", "hits", "misses",
 }
 
+// calibrateRequiredKeys are additionally required on kind "calibrate"
+// records: the measured times the fit consumed plus the calib block.
+var calibrateRequiredKeys = []string{
+	"serial_ns", "measured_ns", "measured_speedup", "predicted_speedup", "calib",
+}
+
+// calibBlockRequiredKeys are required inside the calib block itself —
+// a fit record without its parameters or MAPE is useless to the
+// calibration trend check.
+var calibBlockRequiredKeys = []string{
+	"gamma", "ns_per_work", "r2", "samples", "dropped",
+	"calibrated_ns", "mape_uncalibrated", "mape_calibrated",
+}
+
 // ValidateLedger checks that data is a parseable ledger with the current
 // schema tag, at least one record, and every required key present in every
 // record. It decodes into generic maps on purpose: the check guards the
@@ -152,6 +192,19 @@ func ValidateLedger(data []byte) error {
 			for _, k := range pipelineRequiredKeys {
 				if _, ok := rec[k]; !ok {
 					missing = append(missing, k)
+				}
+			}
+		case "calibrate":
+			for _, k := range calibrateRequiredKeys {
+				if _, ok := rec[k]; !ok {
+					missing = append(missing, k)
+				}
+			}
+			if blk, ok := rec["calib"].(map[string]any); ok {
+				for _, k := range calibBlockRequiredKeys {
+					if _, ok := blk[k]; !ok {
+						missing = append(missing, "calib."+k)
+					}
 				}
 			}
 		}

@@ -53,6 +53,12 @@ type Profile struct {
 	// Critical is the chain of tasks whose finish times realize the
 	// makespan, oldest first.
 	Critical []PathLink
+	// Degenerate counts measured events whose duration collapsed to zero
+	// nanoseconds (Finish == Start), a clock-resolution artifact of real
+	// runs: the task executed but contributed nothing to Busy and is
+	// invisible in the idle-gap histogram. Only RealProfile sets it;
+	// simulator events always have positive durations.
+	Degenerate int
 }
 
 // Busy, Comm, Stall and Idle sum the per-processor fields.
@@ -289,6 +295,9 @@ func FormatProfile(p *Profile) string {
 	}
 	fmt.Fprintf(&sb, "critical path: %d tasks (compute %d + comm %d = makespan), %d dependency hops\n",
 		len(p.Critical), p.CriticalWork(), p.CriticalComm(), deps)
+	if p.Degenerate > 0 {
+		fmt.Fprintf(&sb, "degenerate events: %d (zero measured duration, clock resolution)\n", p.Degenerate)
+	}
 	sb.WriteString("idle gaps: ")
 	sb.WriteString(p.IdleGaps.String())
 	return sb.String()

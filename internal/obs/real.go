@@ -16,6 +16,12 @@ import (
 // critical path is extracted (Critical stays nil). Everything else — the
 // per-processor busy/comm/stall/idle breakdown and the idle-gap histogram
 // — carries over, with the makespan taken as the latest finish.
+//
+// Events whose measured duration collapsed to zero nanoseconds (the clock
+// resolution swallowed a sub-tick task) are counted in the profile's
+// Degenerate field rather than dropped silently: they still count toward
+// Tasks but add nothing to Busy, so the count is what makes the
+// clock-resolution artifact visible.
 func RealProfile(events []exec.TaskEvent, p int) (*Profile, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("obs: invalid processor count %d", p)
@@ -31,6 +37,9 @@ func RealProfile(events []exec.TaskEvent, p int) (*Profile, error) {
 		}
 		if ev.Finish < ev.Start {
 			return nil, fmt.Errorf("obs: task %d finishes at %d before its start %d", ev.Task, ev.Finish, ev.Start)
+		}
+		if ev.Finish == ev.Start {
+			prof.Degenerate++
 		}
 		if ev.Finish > prof.Makespan {
 			prof.Makespan = ev.Finish
